@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared harness for the table/figure reproduction benches: latency
+ * versus injection-rate sweeps with warmup, saturation early-exit, and
+ * aligned table printing. Every bench accepts:
+ *
+ *   --warmup N     warmup cycles per point
+ *   --measure N    measurement cycles per point
+ *   --fast         quarter-scale run for smoke testing
+ *
+ * and prints the same rows/series as the paper's figure. Absolute
+ * numbers differ from the paper's gem5 testbed; the *shape* (who
+ * saturates first, by roughly what factor) is what EXPERIMENTS.md
+ * validates.
+ */
+
+#ifndef SPINNOC_BENCH_BENCHUTIL_HH
+#define SPINNOC_BENCH_BENCHUTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "network/NetworkBuilder.hh"
+#include "traffic/SyntheticInjector.hh"
+
+namespace spin::bench
+{
+
+/** Common CLI options. */
+struct Options
+{
+    Cycle warmup = 2000;
+    Cycle measure = 4000;
+    bool fast = false;
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options o;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
+                o.warmup = std::strtoull(argv[++i], nullptr, 10);
+            else if (!std::strcmp(argv[i], "--measure") && i + 1 < argc)
+                o.measure = std::strtoull(argv[++i], nullptr, 10);
+            else if (!std::strcmp(argv[i], "--fast"))
+                o.fast = true;
+        }
+        if (o.fast) {
+            o.warmup /= 4;
+            o.measure /= 4;
+        }
+        return o;
+    }
+};
+
+/** One point of a latency/throughput sweep. */
+struct SweepPoint
+{
+    double rate = 0.0;
+    double latency = 0.0;    //!< avg end-to-end latency, cycles
+    double throughput = 0.0; //!< received flits/node/cycle
+    bool saturated = false;
+};
+
+/** Result of a sweep: points plus the estimated saturation rate. */
+struct SweepResult
+{
+    std::vector<SweepPoint> points;
+    /**
+     * Last offered rate whose received throughput stayed within 10% of
+     * offered and whose latency stayed under the saturation cap.
+     */
+    double saturationRate = 0.0;
+};
+
+/**
+ * Run one latency-vs-injection sweep.
+ *
+ * A point counts as saturated when the average latency exceeds
+ * @p latency_cap or throughput falls >10% below offered load; the sweep
+ * stops two points after first saturation (enough to draw the knee).
+ */
+inline SweepResult
+sweep(const ConfigPreset &preset,
+      const std::shared_ptr<const Topology> &topo, Pattern pattern,
+      const std::vector<double> &rates, const Options &opt,
+      double latency_cap = 400.0)
+{
+    SweepResult res;
+    int past_saturation = 0;
+    for (const double rate : rates) {
+        if (past_saturation >= 2)
+            break;
+        auto net = preset.build(topo);
+        InjectorConfig icfg;
+        icfg.injectionRate = rate;
+        icfg.seed = preset.cfg.seed + 1;
+        SyntheticInjector inj(*net, pattern, icfg);
+        for (Cycle i = 0; i < opt.warmup; ++i) {
+            inj.tick();
+            net->step();
+        }
+        net->beginMeasurement();
+        for (Cycle i = 0; i < opt.measure; ++i) {
+            inj.tick();
+            net->step();
+        }
+        SweepPoint p;
+        p.rate = rate;
+        p.latency = net->stats().avgLatency();
+        p.throughput = net->stats().throughput(net->numNodes(),
+                                               net->now());
+        p.saturated = p.latency > latency_cap ||
+                      p.throughput < 0.9 * rate;
+        if (p.saturated)
+            ++past_saturation;
+        else
+            res.saturationRate = rate;
+        res.points.push_back(p);
+    }
+    return res;
+}
+
+/** Print one sweep as a table block. */
+inline void
+printSweep(const std::string &config, const std::string &pattern,
+           const SweepResult &res)
+{
+    std::printf("## %s | %s\n", config.c_str(), pattern.c_str());
+    std::printf("%10s %14s %14s %6s\n", "rate", "latency(cy)",
+                "thru(f/n/c)", "sat");
+    for (const SweepPoint &p : res.points) {
+        std::printf("%10.3f %14.2f %14.4f %6s\n", p.rate, p.latency,
+                    p.throughput, p.saturated ? "yes" : "");
+    }
+    std::printf("-> saturation throughput ~ %.3f flits/node/cycle\n\n",
+                res.saturationRate);
+}
+
+/** Geometric ladder of injection rates. */
+inline std::vector<double>
+rateLadder(double lo, double hi, int points)
+{
+    std::vector<double> rates;
+    if (points <= 1) {
+        rates.push_back(lo);
+        return rates;
+    }
+    const double step = (hi - lo) / (points - 1);
+    for (int i = 0; i < points; ++i)
+        rates.push_back(lo + step * i);
+    return rates;
+}
+
+} // namespace spin::bench
+
+#endif // SPINNOC_BENCH_BENCHUTIL_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Fig. 3: the minimum injection rate (flits/node/cycle) at
+ * which the 64-node mesh (minimal adaptive routing) and the 1024-node
+ * dragonfly (UGAL path selection, unrestricted VCs) deadlock at least
+ * once, per traffic pattern, with 3 VCs per port and 1-flit packets.
+ * Deadlocks are detected by the oracle wait-for-graph; no recovery
+ * scheme is active (scheme = None).
+ *
+ * Expected shape: onset rates sit far above real-application loads
+ * (the paper: at least 10x), and tornado/transpose on the mesh do not
+ * deadlock at all under minimal routing.
+ */
+
+#include "bench/BenchUtil.hh"
+#include "deadlock/OracleDetector.hh"
+#include "topology/Dragonfly.hh"
+#include "topology/Mesh.hh"
+
+using namespace spin;
+using namespace spin::bench;
+
+namespace
+{
+
+/** Run at one rate; report whether a deadlock ever appears. */
+bool
+deadlocks(const std::shared_ptr<const Topology> &topo, RoutingKind kind,
+          Pattern pattern, double rate, Cycle cycles)
+{
+    NetworkConfig cfg;
+    cfg.vnets = 1; // Fig. 3 uses plain 1-flit synthetic traffic
+    cfg.vcsPerVnet = 3;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::None;
+    auto net = buildNetwork(topo, cfg, kind);
+
+    InjectorConfig icfg;
+    icfg.injectionRate = rate;
+    icfg.controlFraction = 1.0; // 1-flit packets only, as in the paper
+    SyntheticInjector inj(*net, pattern, icfg);
+    OracleDetector oracle(*net);
+
+    for (Cycle i = 0; i < cycles; ++i) {
+        inj.tick();
+        net->step();
+        if (i % 250 == 0 && oracle.detect().deadlocked)
+            return true;
+    }
+    return oracle.detect().deadlocked;
+}
+
+void
+onsetSweep(const char *label, const std::shared_ptr<const Topology> &topo,
+           RoutingKind kind, Cycle cycles,
+           const std::vector<Pattern> &patterns)
+{
+    std::printf("--- %s (window %llu cycles, 3 VCs, 1-flit packets) "
+                "---\n%-16s %s\n", label,
+                static_cast<unsigned long long>(cycles), "pattern",
+                "min deadlock rate (flits/node/cycle)");
+    const std::vector<double> ladder = {0.05, 0.10, 0.15, 0.20, 0.30,
+                                        0.45, 0.65, 1.00};
+    for (const Pattern pat : patterns) {
+        double onset = -1.0;
+        for (const double rate : ladder) {
+            if (deadlocks(topo, kind, pat, rate, cycles)) {
+                onset = rate;
+                break;
+            }
+        }
+        if (onset < 0)
+            std::printf("%-16s no deadlock up to 1.00\n",
+                        toString(pat).c_str());
+        else
+            std::printf("%-16s %.2f\n", toString(pat).c_str(), onset);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const Cycle mesh_cycles = opt.fast ? 5000 : 20000;
+    const Cycle dfly_cycles = opt.fast ? 2000 : 6000;
+
+    std::printf("=== Fig. 3: minimum injection rate at which the "
+                "network deadlocks ===\n\n");
+
+    auto mesh = std::make_shared<Topology>(makeMesh(8, 8));
+    onsetSweep("8x8 mesh, minimal adaptive", mesh,
+               RoutingKind::MinimalAdaptive, mesh_cycles,
+               {Pattern::UniformRandom, Pattern::BitComplement,
+                Pattern::Transpose, Pattern::Tornado, Pattern::BitReverse,
+                Pattern::Shuffle});
+
+    auto dfly = std::make_shared<Topology>(makePaperDragonfly());
+    onsetSweep("1024-node dragonfly, UGAL (unrestricted VCs)", dfly,
+               RoutingKind::UgalSpin, dfly_cycles,
+               {Pattern::UniformRandom, Pattern::BitComplement,
+                Pattern::Tornado, Pattern::Shuffle});
+
+    std::printf("Reference: real applications load the NoC at roughly "
+                "0.01-0.05 flits/node/cycle\n(paper Sec. II-F): onset "
+                "rates above are ~10x higher, so deadlocks are rare\n"
+                "events and recovery beats avoidance.\n");
+    return 0;
+}

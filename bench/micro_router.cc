@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks: simulator engine throughput
+ * (cycles/second) for the paper's two topologies at three load levels,
+ * plus topology construction cost. These guard against performance
+ * regressions in the hot per-cycle path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/BenchUtil.hh"
+#include "topology/Dragonfly.hh"
+#include "topology/Mesh.hh"
+
+using namespace spin;
+using namespace spin::bench;
+
+namespace
+{
+
+void
+BM_MeshStep(benchmark::State &state)
+{
+    const double rate = state.range(0) / 100.0;
+    auto topo = std::make_shared<Topology>(makeMesh(8, 8));
+    const ConfigPreset preset = meshPresets3Vc()[3]; // MinAdaptive+SPIN
+    auto net = preset.build(topo);
+    InjectorConfig icfg;
+    icfg.injectionRate = rate;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+    for (int i = 0; i < 500; ++i) { // settle
+        inj.tick();
+        net->step();
+    }
+    for (auto _ : state) {
+        inj.tick();
+        net->step();
+    }
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(state.iterations()),
+                           benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MeshStep)->Arg(1)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_DragonflyStep(benchmark::State &state)
+{
+    const double rate = state.range(0) / 100.0;
+    auto topo = std::make_shared<Topology>(makePaperDragonfly());
+    const ConfigPreset preset = dragonflyPresets1Vc()[0];
+    auto net = preset.build(topo);
+    InjectorConfig icfg;
+    icfg.injectionRate = rate;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+    for (int i = 0; i < 200; ++i) {
+        inj.tick();
+        net->step();
+    }
+    for (auto _ : state) {
+        inj.tick();
+        net->step();
+    }
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(state.iterations()),
+                           benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DragonflyStep)->Arg(1)->Arg(15)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_BuildMesh(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Topology t = makeMesh(8, 8);
+        benchmark::DoNotOptimize(t.numRouters());
+    }
+}
+BENCHMARK(BM_BuildMesh)->Unit(benchmark::kMicrosecond);
+
+void
+BM_BuildDragonfly(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Topology t = makePaperDragonfly();
+        benchmark::DoNotOptimize(t.numRouters());
+    }
+}
+BENCHMARK(BM_BuildDragonfly)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * End-to-end "bring your own fabric" flow: define an irregular
+ * topology in the text format (as a NoC generator or datacenter
+ * planner would emit), load it, attach SPIN-protected adaptive
+ * routing, and replay a hand-written packet trace cycle-exactly.
+ *
+ *   $ ./custom_fabric [topology_file [trace_file]]
+ *
+ * Without arguments it builds the paper's Fig. 2-style ring inline.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "network/NetworkBuilder.hh"
+#include "topology/TopologyIo.hh"
+#include "traffic/TraceTraffic.hh"
+
+using namespace spin;
+
+namespace
+{
+
+/** A 6-router irregular fabric: a ring with one chord. */
+const char *kDefaultTopology = R"(
+# 6 routers, 4 ports each (up to 3 network links + 1 NIC)
+routers 6 4
+bilink 0 0 1 0 1
+bilink 1 1 2 0 1
+bilink 2 1 3 0 1
+bilink 3 1 4 0 1
+bilink 4 1 5 0 1
+bilink 5 1 0 1 1
+bilink 0 2 3 2 2   # the chord, a slower long-range link
+nic 0 0 3
+nic 1 1 3
+nic 2 2 3
+nic 3 3 3
+nic 4 4 3
+nic 5 5 3
+)";
+
+const char *kDefaultTrace = R"(
+# cycle src dst vnet size
+0    0 3 0 5
+0    1 4 0 5
+0    2 5 0 5
+0    3 0 0 5
+0    4 1 0 5
+0    5 2 0 5
+40   0 5 0 1
+41   5 0 0 1
+100  2 0 0 5
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Topology parsed = [&] {
+        if (argc > 1)
+            return readTopologyFile(argv[1]);
+        std::istringstream ss(kDefaultTopology);
+        return readTopology(ss);
+    }();
+    auto topo = std::make_shared<Topology>(std::move(parsed));
+
+    std::printf("fabric: %d routers, %zu directed links, %d nodes\n",
+                topo->numRouters(), topo->links().size(),
+                topo->numNodes());
+
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = 1;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::Spin; // works on ANY loaded graph
+    cfg.tDd = 64;
+    auto net = buildNetwork(topo, cfg, RoutingKind::MinimalAdaptive);
+
+    const std::vector<TraceRecord> trace = [&] {
+        if (argc > 2)
+            return readTraceFile(argv[2]);
+        std::istringstream ss(kDefaultTrace);
+        return readTrace(ss);
+    }();
+    TraceTraffic replay(*net, trace);
+    std::printf("trace: %zu packets\n\n", trace.size());
+
+    while ((!replay.done() || net->packetsInFlight() > 0) &&
+           net->now() < 100000) {
+        replay.tick();
+        net->step();
+    }
+
+    const Stats &st = net->stats();
+    std::printf("done at cycle %llu\n",
+                static_cast<unsigned long long>(net->now()));
+    std::printf("  delivered  : %llu/%llu packets\n",
+                static_cast<unsigned long long>(st.packetsEjected),
+                static_cast<unsigned long long>(st.packetsCreated));
+    std::printf("  avg latency: %.1f cycles (p50 %.0f, p99 %.0f)\n",
+                st.avgLatency(), st.latencyPercentile(0.5),
+                st.latencyPercentile(0.99));
+    std::printf("  spins      : %llu\n",
+                static_cast<unsigned long long>(st.spins));
+    return net->packetsInFlight() == 0 ? 0 : 1;
+}

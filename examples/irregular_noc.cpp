@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's motivating use case: irregular topologies where no turn
+ * model or escape network can be designed ahead of time. Power-gates a
+ * random set of mesh links (as an on-chip resiliency manager would),
+ * then runs fully adaptive table-driven routing with one VC -- SPIN
+ * supplies deadlock freedom on whatever graph remains. Also runs a
+ * Jellyfish-style random regular graph for the datacenter flavor.
+ *
+ *   $ ./irregular_noc [seed] [faults]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "deadlock/OracleDetector.hh"
+#include "network/NetworkBuilder.hh"
+#include "topology/Irregular.hh"
+#include "traffic/SyntheticInjector.hh"
+
+using namespace spin;
+
+namespace
+{
+
+void
+drive(const char *label, std::shared_ptr<const Topology> topo,
+      std::uint64_t seed)
+{
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = 1;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::Spin;
+    cfg.tDd = 64;
+    cfg.seed = seed;
+    auto net = buildNetwork(topo, cfg, RoutingKind::MinimalAdaptive);
+
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.08;
+    icfg.seed = seed;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+
+    for (int i = 0; i < 6000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    // Stop injecting; every packet must still get out.
+    Cycle drained = net->now();
+    while (net->packetsInFlight() > 0 && net->now() - drained < 60000)
+        net->step();
+
+    const Stats &st = net->stats();
+    OracleDetector oracle(*net);
+    std::printf("%-28s %4d routers | delivered %llu/%llu | avg lat "
+                "%6.1f | spins %4llu | %s\n",
+                label, topo->numRouters(),
+                static_cast<unsigned long long>(st.packetsEjected),
+                static_cast<unsigned long long>(st.packetsCreated),
+                st.avgLatency(),
+                static_cast<unsigned long long>(st.spins),
+                net->packetsInFlight() == 0 &&
+                        !oracle.detect().deadlocked
+                    ? "deadlock-free"
+                    : "STUCK (bug!)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1],
+                                                        nullptr, 10)
+                                        : 2026;
+    const int faults = argc > 2 ? std::atoi(argv[2]) : 10;
+
+    std::printf("=== SPIN on irregular topologies (seed %llu) ===\n\n",
+                static_cast<unsigned long long>(seed));
+
+    Random rng(seed);
+    auto faulty = std::make_shared<Topology>(
+        makeRandomFaultyMesh(6, 6, faults, rng));
+    std::printf("power-gated mesh: 6x6 with %d random links removed "
+                "(still connected)\n", faults);
+    drive("faulty-mesh + favors + SPIN", faulty, seed);
+
+    auto rrg = std::make_shared<Topology>(makeRandomRegular(24, 4, rng));
+    std::printf("\njellyfish-style random 4-regular graph, 24 "
+                "routers\n");
+    drive("random-graph + SPIN", rrg, seed + 1);
+
+    std::printf("\nNo turn model, no escape CDG, no VC ordering was "
+                "derived for either graph:\nthe same adaptive routing "
+                "and recovery machinery ran unmodified on both.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: build an 8x8 mesh running the paper's headline
+ * configuration -- FAvORS fully adaptive routing with a single VC per
+ * message class, deadlock freedom supplied by SPIN -- drive it with
+ * uniform random traffic, and print the numbers that matter.
+ *
+ *   $ ./quickstart [injection_rate]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "network/NetworkBuilder.hh"
+#include "topology/Mesh.hh"
+#include "traffic/SyntheticInjector.hh"
+
+using namespace spin;
+
+int
+main(int argc, char **argv)
+{
+    const double rate = argc > 1 ? std::atof(argv[1]) : 0.20;
+
+    // 1. A topology. Any strongly connected graph works; SPIN needs no
+    //    knowledge of it.
+    auto topo = std::make_shared<Topology>(makeMesh(8, 8));
+
+    // 2. A configuration: 3 message classes (as under a directory
+    //    protocol), ONE virtual channel each, SPIN recovery.
+    NetworkConfig cfg;
+    cfg.name = "quickstart";
+    cfg.vnets = 3;
+    cfg.vcsPerVnet = 1;
+    cfg.vcDepth = 5;        // virtual cut-through: >= max packet size
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::Spin;
+    cfg.tDd = 128;          // deadlock-detection timeout (paper default)
+
+    // 3. The network: fully adaptive minimal routing (FAvORS-Min). No
+    //    turn restrictions, no escape buffers, no VC ordering.
+    auto net = buildNetwork(topo, cfg, RoutingKind::FavorsMin);
+
+    // 4. Traffic: uniform random, mixed 1-flit control / 5-flit data.
+    InjectorConfig icfg;
+    icfg.injectionRate = rate;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+
+    // 5. Warm up, measure, report.
+    for (int i = 0; i < 2000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    net->beginMeasurement();
+    for (int i = 0; i < 10000; ++i) {
+        inj.tick();
+        net->step();
+    }
+
+    const Stats &st = net->stats();
+    std::printf("8x8 mesh | favors-min | 1 VC/vnet | SPIN | rate %.2f "
+                "flits/node/cycle\n", rate);
+    std::printf("  packets delivered   : %llu\n",
+                static_cast<unsigned long long>(st.packetsEjected));
+    std::printf("  avg packet latency  : %.2f cycles\n", st.avgLatency());
+    std::printf("  avg hops            : %.2f\n", st.avgHops());
+    std::printf("  throughput          : %.3f flits/node/cycle\n",
+                st.throughput(net->numNodes(), net->now()));
+    std::printf("  deadlocks resolved  : %llu spins (%llu probes sent, "
+                "%llu returned)\n",
+                static_cast<unsigned long long>(st.spins),
+                static_cast<unsigned long long>(st.probesSent),
+                static_cast<unsigned long long>(st.probesReturned));
+    std::printf("\nTry a higher rate (e.g. 0.30) to watch SPIN resolve "
+                "real deadlocks.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "common/Config.hh"
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+std::string
+toString(DeadlockScheme s)
+{
+    switch (s) {
+      case DeadlockScheme::None: return "none";
+      case DeadlockScheme::Spin: return "spin";
+      case DeadlockScheme::StaticBubble: return "static-bubble";
+    }
+    return "?";
+}
+
+void
+NetworkConfig::validate() const
+{
+    if (vnets < 1)
+        SPIN_FATAL("vnets must be >= 1, got ", vnets);
+    if (vcsPerVnet < 1)
+        SPIN_FATAL("vcsPerVnet must be >= 1, got ", vcsPerVnet);
+    if (vcDepth < 1)
+        SPIN_FATAL("vcDepth must be >= 1, got ", vcDepth);
+    if (maxPacketSize < 1)
+        SPIN_FATAL("maxPacketSize must be >= 1, got ", maxPacketSize);
+    if (vcDepth < maxPacketSize) {
+        SPIN_FATAL("virtual cut-through requires vcDepth (", vcDepth,
+                   ") >= maxPacketSize (", maxPacketSize, ")");
+    }
+    if (scheme == DeadlockScheme::Spin && tDd < 1)
+        SPIN_FATAL("tDd must be >= 1, got ", tDd);
+    if (scheme == DeadlockScheme::Spin && epochMultiplier < 2)
+        SPIN_FATAL("epochMultiplier must be >= 2, got ", epochMultiplier);
+    if (scheme == DeadlockScheme::StaticBubble && vcsPerVnet < 2) {
+        SPIN_FATAL("static bubble reserves one VC per vnet and needs "
+                   "vcsPerVnet >= 2, got ", vcsPerVnet);
+    }
+}
+
+} // namespace spin

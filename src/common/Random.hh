@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random source used by every stochastic decision in
+ * the simulator (traffic generation, adaptive tie-breaks, intermediate-node
+ * selection). A single seeded generator per simulation keeps runs exactly
+ * reproducible, which the regression tests rely on.
+ */
+
+#ifndef SPINNOC_COMMON_RANDOM_HH
+#define SPINNOC_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for traffic
+ * workloads; not for cryptography.
+ */
+class Random
+{
+  public:
+    /** Seed the generator; equal seeds give equal streams. */
+    explicit Random(std::uint64_t seed = 1);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability @p p. */
+    bool chance(double p);
+
+    /** @return a uniformly chosen element of @p v. @pre !v.empty(). */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        SPIN_ASSERT(!v.empty(), "pick() from empty vector");
+        return v[below(v.size())];
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace spin
+
+#endif // SPINNOC_COMMON_RANDOM_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared by every subsystem.
+ *
+ * The simulator follows the conventions of packet-switched on-chip /
+ * off-chip interconnection networks: a *node* is a traffic endpoint
+ * (a NIC), a *router* is a switch, a *port* is a router-local port
+ * index, a *VC* is a virtual channel within an input port, and a
+ * *vnet* is a virtual network (message class) used to break protocol
+ * deadlocks.
+ */
+
+#ifndef SPINNOC_COMMON_TYPES_HH
+#define SPINNOC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace spin
+{
+
+/** Simulation time in cycles. */
+using Cycle = std::uint64_t;
+
+/** Traffic endpoint (NIC) identifier, dense in [0, numNodes). */
+using NodeId = std::int32_t;
+
+/** Router identifier, dense in [0, numRouters). */
+using RouterId = std::int32_t;
+
+/** Router-local port index, dense in [0, radix). */
+using PortId = std::int32_t;
+
+/** Virtual-channel index within an input port. */
+using VcId = std::int32_t;
+
+/** Virtual network (message class) index. */
+using VnetId = std::int32_t;
+
+/** Unique packet identifier. */
+using PacketId = std::uint64_t;
+
+/** Sentinel for "no id". */
+constexpr std::int32_t kInvalidId = -1;
+
+/** Sentinel cycle value meaning "never". */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Flit position within a packet. */
+enum class FlitType : std::uint8_t
+{
+    Head,      //!< first flit of a multi-flit packet
+    Body,      //!< middle flit
+    Tail,      //!< last flit of a multi-flit packet
+    HeadTail,  //!< single-flit packet
+};
+
+/** @return true when @p t carries the routing information of a packet. */
+constexpr bool
+isHeadFlit(FlitType t)
+{
+    return t == FlitType::Head || t == FlitType::HeadTail;
+}
+
+/** @return true when @p t releases the virtual channel downstream. */
+constexpr bool
+isTailFlit(FlitType t)
+{
+    return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+/** Named link-utilization buckets (Fig. 8b of the paper). */
+enum class LinkUse : std::uint8_t
+{
+    Idle,   //!< no traversal started this cycle
+    Flit,   //!< a data flit entered the link
+    Probe,  //!< a probe special message entered the link
+    Move,   //!< a move / probe_move / kill_move special message
+};
+
+/** Human-readable flit type name (for traces and test failure output). */
+std::string toString(FlitType t);
+
+} // namespace spin
+
+#endif // SPINNOC_COMMON_TYPES_HH

@@ -1,0 +1,37 @@
+#include "core/LoopBuffer.hh"
+
+#include <bit>
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+void
+LoopBuffer::latch(std::vector<PortId> path, Cycle loop_latency)
+{
+    SPIN_ASSERT(!path.empty(), "latching empty loop path");
+    SPIN_ASSERT(loop_latency > 0, "latching zero loop latency");
+    path_ = std::move(path);
+    loopLatency_ = loop_latency;
+    valid_ = true;
+}
+
+void
+LoopBuffer::clear()
+{
+    path_.clear();
+    loopLatency_ = 0;
+    valid_ = false;
+}
+
+int
+LoopBuffer::sizeBits(int radix, int num_routers)
+{
+    SPIN_ASSERT(radix > 1 && num_routers > 0, "bad sizing query");
+    const unsigned bits_per_entry =
+        std::bit_width(static_cast<unsigned>(radix - 1));
+    return static_cast<int>(bits_per_entry) * num_routers;
+}
+
+} // namespace spin

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Loop Buffer (paper Table II): a control-path buffer in every
+ * router that latches the deadlock path a returning probe acquired.
+ * Conceptually different from escape buffers: it sits on the control
+ * path and adds no datapath storage.
+ */
+
+#ifndef SPINNOC_CORE_LOOPBUFFER_HH
+#define SPINNOC_CORE_LOOPBUFFER_HH
+
+#include <vector>
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+/** See file comment. */
+class LoopBuffer
+{
+  public:
+    /** Latch a confirmed loop path and its round-trip latency. */
+    void latch(std::vector<PortId> path, Cycle loop_latency);
+
+    /** Release the latched path. */
+    void clear();
+
+    bool valid() const { return valid_; }
+    const std::vector<PortId> &path() const { return path_; }
+    /** Loop length in cycles (probe round-trip time). */
+    Cycle loopLatency() const { return loopLatency_; }
+    /** Loop length in hops. */
+    int loopHops() const { return static_cast<int>(path_.size()); }
+
+    /**
+     * Hardware sizing rule from Table II:
+     * log2(router radix) bits per hop entry, N entries.
+     *
+     * @return buffer size in bits
+     */
+    static int sizeBits(int radix, int num_routers);
+
+  private:
+    std::vector<PortId> path_;
+    Cycle loopLatency_ = 0;
+    bool valid_ = false;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_CORE_LOOPBUFFER_HH

@@ -1,0 +1,22 @@
+#include "core/RotatingPriority.hh"
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+RotatingPriority::RotatingPriority(int num_routers, Cycle epoch_len)
+    : n_(num_routers), epochLen_(epoch_len)
+{
+    SPIN_ASSERT(n_ > 0, "no routers");
+    SPIN_ASSERT(epochLen_ > 0, "zero epoch");
+}
+
+int
+RotatingPriority::priorityOf(RouterId r, Cycle now) const
+{
+    const Cycle epoch = now / epochLen_;
+    return static_cast<int>((r + epoch) % n_);
+}
+
+} // namespace spin

@@ -1,0 +1,31 @@
+#include "core/SpecialMsg.hh"
+
+#include <sstream>
+
+namespace spin
+{
+
+std::string
+toString(SmType t)
+{
+    switch (t) {
+      case SmType::Probe:     return "probe";
+      case SmType::Move:      return "move";
+      case SmType::ProbeMove: return "probe_move";
+      case SmType::KillMove:  return "kill_move";
+    }
+    return "?";
+}
+
+std::string
+SpecialMsg::toString() const
+{
+    std::ostringstream os;
+    os << spin::toString(type) << " from R" << sender << " path[";
+    for (std::size_t i = 0; i < path.size(); ++i)
+        os << (i ? "," : "") << path[i];
+    os << "] idx=" << pathIdx << " spin@" << spinCycle;
+    return os.str();
+}
+
+} // namespace spin

@@ -1,0 +1,35 @@
+#include "core/SpinFsm.hh"
+
+namespace spin
+{
+
+std::string
+toString(InitState s)
+{
+    switch (s) {
+      case InitState::Off:            return "Off";
+      case InitState::DetectDeadlock: return "DetectDeadlock";
+      case InitState::MoveWait:       return "MoveWait";
+      case InitState::FwdProgress:    return "FwdProgress";
+      case InitState::ProbeMoveWait:  return "ProbeMoveWait";
+      case InitState::KillMoveWait:   return "KillMoveWait";
+    }
+    return "?";
+}
+
+std::string
+toString(SpinState s)
+{
+    switch (s) {
+      case SpinState::Off:             return "S_OFF";
+      case SpinState::DetectDeadlock:  return "S_DD";
+      case SpinState::Move:            return "S_Move";
+      case SpinState::Frozen:          return "S_Frozen";
+      case SpinState::ForwardProgress: return "S_Forward_Progress";
+      case SpinState::ProbeMove:       return "S_Probe_Move";
+      case SpinState::KillMove:        return "S_kill_move";
+    }
+    return "?";
+}
+
+} // namespace spin

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SPIN counter-FSM state definitions (paper Fig. 4a).
+ *
+ * The paper draws one seven-state FSM per router. A router can, however,
+ * simultaneously play two roles (paper Sec. IV-C2, Case II of shared
+ * loops: router B is frozen by H's move *and* times out its own move):
+ * it can be the *initiator* of its own recovery, and the *victim*
+ * (frozen member) of someone else's. This implementation therefore
+ * splits the FSM into an initiator context and a victim context; the
+ * paper's seven states are the observable union (see paperState()).
+ *
+ *   paper state            initiator ctx        victim ctx
+ *   ---------------------  -------------------  -----------
+ *   S_OFF                  Off                  inactive
+ *   S_DD                   DetectDeadlock       inactive
+ *   S_Move                 MoveWait             --
+ *   S_Frozen               (any)                active (not own spin)
+ *   S_Forward_Progress     FwdProgress          active, own source
+ *   S_Probe_Move           ProbeMoveWait        --
+ *   S_kill_move            KillMoveWait         --
+ */
+
+#ifndef SPINNOC_CORE_SPINFSM_HH
+#define SPINNOC_CORE_SPINFSM_HH
+
+#include <string>
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+/** Initiator-side FSM states. */
+enum class InitState : std::uint8_t
+{
+    Off,            //!< no traffic to watch
+    DetectDeadlock, //!< counting toward t_DD on the pointed VC
+    MoveWait,       //!< probe returned; waiting for the move to return
+    FwdProgress,    //!< move returned; waiting for the spin cycle
+    ProbeMoveWait,  //!< spun; probe_move re-check in flight
+    KillMoveWait,   //!< cancelling; kill_move in flight
+};
+
+/** The paper's seven observable FSM states. */
+enum class SpinState : std::uint8_t
+{
+    Off,
+    DetectDeadlock,
+    Move,
+    Frozen,
+    ForwardProgress,
+    ProbeMove,
+    KillMove,
+};
+
+std::string toString(InitState s);
+std::string toString(SpinState s);
+
+/**
+ * Victim context: this router has frozen VC(s) on behalf of a recovery
+ * whose initiator is @c source (possibly itself).
+ */
+struct VictimCtx
+{
+    bool active = false;
+    RouterId source = kInvalidId;
+    Cycle spinCycle = kNeverCycle;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_CORE_SPINFSM_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Network-level SPIN coordinator.
+ *
+ * The recovery itself is fully distributed -- every decision is taken in
+ * a per-router SpinUnit from locally visible state. This manager models
+ * the shared physical substrate those units communicate over: bufferless
+ * SM traversal on the regular links with strict-priority contention
+ * drops, and the synchronized rotation that all frozen routers execute
+ * in the committed spin cycle. It also implements the defensive
+ * atomic-rotation fixpoint described in DESIGN.md Sec. 1.3.
+ */
+
+#ifndef SPINNOC_CORE_SPINMANAGER_HH
+#define SPINNOC_CORE_SPINMANAGER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/Types.hh"
+#include "core/RotatingPriority.hh"
+#include "core/SpecialMsg.hh"
+#include "core/SpinUnit.hh"
+#include "sim/DelayLine.hh"
+
+namespace spin
+{
+
+class Network;
+
+/** See file comment. */
+class SpinManager
+{
+  public:
+    explicit SpinManager(Network &net);
+
+    Network &network() { return net_; }
+    SpinUnit &unit(RouterId r) { return *units_[r]; }
+    const SpinUnit &unit(RouterId r) const { return *units_[r]; }
+
+    /// @name Per-cycle phases (called by Network::step)
+    /// @{
+    /** Deliver SM arrivals, process them, resolve link contention. */
+    void smPhase(Cycle now);
+    /** Execute committed rotations whose spin cycle is @p now. */
+    void spinPhase(Cycle now);
+    /** Run every unit's counter FSM. */
+    void fsmTick(Cycle now);
+    /// @}
+
+    /** Schedule @p send to contend for its link at cycle @p when. */
+    void scheduleSend(Cycle when, SmSend send);
+
+    /// @name Parameters
+    /// @{
+    Cycle tDd() const { return tDd_; }
+    int maxProbeHops() const { return maxProbeHops_; }
+    int priorityOf(RouterId r, Cycle now) const
+    {
+        return prio_.priorityOf(r, now);
+    }
+    const RotatingPriority &rotation() const { return prio_; }
+    /// @}
+
+  private:
+    Network &net_;
+    RotatingPriority prio_;
+    Cycle tDd_;
+    int maxProbeHops_;
+
+    /** Units are owned by their routers; borrowed here for iteration. */
+    std::vector<SpinUnit *> units_;
+    /** Per-link SM pipelines, indexed like Network's link array. */
+    std::vector<DelayLine<SpecialMsg>> smLines_;
+    /** FSM-scheduled future emissions. */
+    std::vector<std::pair<Cycle, SmSend>> scheduled_;
+
+    /** Resolve one cycle's link contention and launch the winners. */
+    void launch(std::vector<SmSend> &sends, Cycle now);
+};
+
+} // namespace spin
+
+#endif // SPINNOC_CORE_SPINMANAGER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Whole-network consistency auditor.
+ *
+ * Walks every router, link and NIC and cross-checks the distributed
+ * state the simulator maintains redundantly: upstream credit counters
+ * against downstream buffer occupancy (including credits in flight),
+ * VC allocation ownership against resident packets, frozen-VC
+ * bookkeeping against SPIN's victim contexts, and conservation of
+ * flits (created = in queues + in buffers + in flight + ejected).
+ *
+ * Tests call this after stress runs; it is also handy interactively
+ * when extending the router. Violations are returned as messages, not
+ * panics, so a test can print all of them at once.
+ */
+
+#ifndef SPINNOC_DEADLOCK_INVARIANTS_HH
+#define SPINNOC_DEADLOCK_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+namespace spin
+{
+
+class Network;
+
+/** Result of one audit pass. */
+struct AuditReport
+{
+    std::vector<std::string> violations;
+    bool clean() const { return violations.empty(); }
+    std::string toString() const;
+};
+
+/**
+ * Audit @p net. Safe to call at any cycle boundary (between step()
+ * calls); mid-rotation states are accounted for.
+ *
+ * @param net the network (not modified; non-const only because the
+ *        component accessors are non-const)
+ */
+AuditReport auditNetwork(Network &net);
+
+} // namespace spin
+
+#endif // SPINNOC_DEADLOCK_INVARIANTS_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ground-truth deadlock detector.
+ *
+ * A global, instantaneous wait-for analysis no real router could
+ * perform -- which is exactly why it is useful here: it regenerates
+ * Fig. 3 (minimum injection rates at which topologies deadlock),
+ * classifies SPIN's spins as true or false positives in the tests, and
+ * lets randomized property tests assert "no deadlock ever persists".
+ */
+
+#ifndef SPINNOC_DEADLOCK_ORACLEDETECTOR_HH
+#define SPINNOC_DEADLOCK_ORACLEDETECTOR_HH
+
+#include <vector>
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+class Network;
+
+/** One blocked buffer participating in a deadlock. */
+struct DeadlockMember
+{
+    RouterId router = kInvalidId;
+    PortId inport = kInvalidId;
+    VcId vc = kInvalidId;
+    PacketId packet = 0;
+};
+
+/** Result of one oracle pass. */
+struct DeadlockReport
+{
+    bool deadlocked = false;
+    /** Every VC that can never make progress without intervention. */
+    std::vector<DeadlockMember> members;
+};
+
+/**
+ * See file comment.
+ *
+ * The analysis computes the maximal set of VCs that *can eventually
+ * progress*: a blocked head can progress when one of its candidate
+ * output ports leads to an input port with an idle allowed VC, or with
+ * an allowed VC whose occupant can itself progress. The fixpoint
+ * complement is the deadlocked set. Frozen (SPIN-committed) VCs are
+ * treated as progressing: the committed rotation will move them.
+ */
+class OracleDetector
+{
+  public:
+    explicit OracleDetector(Network &net) : net_(net) {}
+
+    /** Analyze the network's instantaneous state. */
+    DeadlockReport detect() const;
+
+  private:
+    Network &net_;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_DEADLOCK_ORACLEDETECTOR_HH

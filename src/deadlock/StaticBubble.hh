@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static Bubble deadlock-recovery baseline (Ramrakhyani & Krishna,
+ * HPCA 2017), modeled at the fidelity the paper's comparison needs: one
+ * VC per vnet at every input port is *reserved* and unusable during
+ * normal operation; a per-router timeout detects a stuck packet and
+ * unlocks the reserved VC at the requested next hop for it; from there
+ * the packet drains on the reserved network along west-first routes
+ * (acyclic, so recovery itself cannot deadlock). The performance
+ * signature the paper highlights -- one VC lost to normal traffic, and
+ * serialized recovery -- is preserved.
+ */
+
+#ifndef SPINNOC_DEADLOCK_STATICBUBBLE_HH
+#define SPINNOC_DEADLOCK_STATICBUBBLE_HH
+
+#include <vector>
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+class Network;
+
+/** See file comment; one unit per router. */
+class StaticBubbleUnit
+{
+  public:
+    StaticBubbleUnit(Network &net, RouterId id);
+
+    /** Timeout scan; runs once per cycle. */
+    void tick(Cycle now);
+
+  private:
+    Network &net_;
+    RouterId id_;
+    /** First cycle each (inport, vc) was seen blocked; kNever = clear. */
+    std::vector<Cycle> blockedSince_;
+
+    int flatIdx(PortId inport, VcId vc) const;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_DEADLOCK_STATICBUBBLE_HH

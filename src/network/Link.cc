@@ -1,0 +1,2 @@
+// Link is header-only; this translation unit anchors the network module.
+#include "network/Link.hh"

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * One directed physical channel between two routers, with its reverse
+ * credit wire. SPIN's special messages share the forward wire with flits
+ * at higher priority (Sec. IV-D: "No additional links"); their delay
+ * lines live in the SpinManager, but the busy/occupancy accounting that
+ * makes flits yield to them lives here.
+ */
+
+#ifndef SPINNOC_NETWORK_LINK_HH
+#define SPINNOC_NETWORK_LINK_HH
+
+#include <cstdint>
+
+#include "common/Packet.hh"
+#include "common/Types.hh"
+#include "sim/DelayLine.hh"
+#include "topology/Topology.hh"
+
+namespace spin
+{
+
+/** A flit in flight, tagged with its downstream VC. */
+struct LinkFlit
+{
+    Flit flit;
+    VcId vc = kInvalidId;
+};
+
+/** A credit in flight (reverse direction). */
+struct CreditMsg
+{
+    VcId vc = kInvalidId;
+    /** Tail credit: the downstream VC is free again. */
+    bool isFree = false;
+};
+
+/** See file comment. */
+class Link
+{
+  public:
+    explicit Link(const LinkSpec &spec) : spec_(spec) {}
+
+    const LinkSpec &spec() const { return spec_; }
+    Cycle latency() const { return spec_.latency; }
+
+    /// @name Forward (flit) direction
+    /// @{
+    /** True when a flit may enter the wire at @p now. */
+    bool
+    freeForFlit(Cycle now) const
+    {
+        return smBusyAt_ != now && (!everBusy_ || flitBusyUntil_ < now);
+    }
+
+    /** A flit enters the wire at @p now. */
+    void
+    pushFlit(Cycle now, const LinkFlit &lf)
+    {
+        occupyFlit(now, now);
+        flits_.push(now + spec_.latency, lf);
+    }
+
+    /**
+     * SPIN rotation: a whole packet of @p size flits streams onto the
+     * wire starting at @p now; flit i arrives at now + latency + i.
+     */
+    void
+    pushPacket(Cycle now, const std::vector<LinkFlit> &lfs)
+    {
+        occupyFlit(now, now + lfs.size() - 1);
+        Cycle arrival = now + spec_.latency;
+        for (const LinkFlit &lf : lfs)
+            flits_.push(arrival++, lf);
+    }
+
+    std::vector<LinkFlit> drainFlits(Cycle now) { return flits_.drain(now); }
+    /// @}
+
+    /// @name Reverse (credit) direction
+    /// @{
+    void
+    pushCredit(Cycle arrival, const CreditMsg &c)
+    {
+        credits_.push(arrival, c);
+    }
+
+    std::vector<CreditMsg>
+    drainCredits(Cycle now)
+    {
+        return credits_.drain(now);
+    }
+    /// @}
+
+    /// @name Special-message occupancy (wire shared with flits)
+    /// @{
+    /** An SM takes the wire at @p now; flits yield. */
+    void
+    occupySm(Cycle now, LinkUse kind)
+    {
+        smBusyAt_ = now;
+        if (kind == LinkUse::Probe)
+            ++probeUses_;
+        else
+            ++moveUses_;
+    }
+    /// @}
+
+    /// @name Audit inspection
+    /// @{
+    /** Flits currently on the wire bound for downstream VC @p vc. */
+    int
+    inFlightFlits(VcId vc) const
+    {
+        int n = 0;
+        flits_.forEach([&](Cycle, const LinkFlit &lf) {
+            n += lf.vc == vc;
+        });
+        return n;
+    }
+    /** Credits on the reverse wire for upstream VC @p vc. */
+    int
+    inFlightCredits(VcId vc) const
+    {
+        int n = 0;
+        credits_.forEach([&](Cycle, const CreditMsg &c) {
+            n += c.vc == vc;
+        });
+        return n;
+    }
+    /// @}
+
+    /// @name Utilization counters (Fig. 8b)
+    /// @{
+    std::uint64_t flitUses() const { return flitUses_; }
+    std::uint64_t probeUses() const { return probeUses_; }
+    std::uint64_t moveUses() const { return moveUses_; }
+    void
+    resetUses()
+    {
+        flitUses_ = probeUses_ = moveUses_ = 0;
+    }
+    /// @}
+
+  private:
+    void
+    occupyFlit(Cycle now, Cycle until)
+    {
+        flitBusyUntil_ = until;
+        everBusy_ = true;
+        flitUses_ += until - now + 1;
+    }
+
+    LinkSpec spec_;
+    DelayLine<LinkFlit> flits_;
+    DelayLine<CreditMsg> credits_;
+    Cycle flitBusyUntil_ = 0;
+    bool everBusy_ = false;
+    Cycle smBusyAt_ = kNeverCycle;
+    std::uint64_t flitUses_ = 0;
+    std::uint64_t probeUses_ = 0;
+    std::uint64_t moveUses_ = 0;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_NETWORK_LINK_HH

@@ -1,0 +1,215 @@
+#include "network/Network.hh"
+
+#include "common/Logging.hh"
+#include "core/SpinManager.hh"
+#include "deadlock/StaticBubble.hh"
+#include "routing/RoutingAlgorithm.hh"
+
+namespace spin
+{
+
+Network::Network(std::shared_ptr<const Topology> topo,
+                 const NetworkConfig &cfg,
+                 std::unique_ptr<RoutingAlgorithm> routing)
+    : topo_(std::move(topo)), cfg_(cfg), routing_(std::move(routing)),
+      rng_(cfg.seed)
+{
+    SPIN_ASSERT(topo_, "null topology");
+    SPIN_ASSERT(routing_, "null routing algorithm");
+    cfg_.validate();
+
+    const int nr = topo_->numRouters();
+
+    // Links, with (router, port) -> index maps in both directions.
+    outIdx_.assign(nr, {});
+    inIdx_.assign(nr, {});
+    nicIdx_.assign(nr, {});
+    for (RouterId r = 0; r < nr; ++r) {
+        outIdx_[r].assign(topo_->radix(r), -1);
+        inIdx_[r].assign(topo_->radix(r), -1);
+        nicIdx_[r].assign(topo_->radix(r), kInvalidId);
+    }
+    for (const LinkSpec &spec : topo_->links()) {
+        const auto idx = static_cast<std::int32_t>(links_.size());
+        links_.push_back(std::make_unique<Link>(spec));
+        outIdx_[spec.src][spec.srcPort] = idx;
+        inIdx_[spec.dst][spec.dstPort] = idx;
+    }
+    for (const NicAttach &a : topo_->nics())
+        nicIdx_[a.router][a.port] = a.node;
+
+    routers_.reserve(nr);
+    for (RouterId r = 0; r < nr; ++r)
+        routers_.push_back(std::make_unique<Router>(*this, r));
+
+    nics_.reserve(topo_->numNodes());
+    for (NodeId n = 0; n < topo_->numNodes(); ++n)
+        nics_.push_back(std::make_unique<Nic>(*this, n));
+
+    routing_->attach(*this);
+    if (cfg_.vcsPerVnet < routing_->minVcsPerVnet()) {
+        SPIN_FATAL(routing_->name(), " needs at least ",
+                   routing_->minVcsPerVnet(), " VCs per vnet, got ",
+                   cfg_.vcsPerVnet);
+    }
+
+    if (cfg_.scheme == DeadlockScheme::Spin) {
+        spinMgr_ = std::make_unique<SpinManager>(*this);
+    } else if (cfg_.scheme == DeadlockScheme::StaticBubble) {
+        bubbles_.reserve(nr);
+        for (RouterId r = 0; r < nr; ++r)
+            bubbles_.push_back(std::make_unique<StaticBubbleUnit>(*this, r));
+    }
+}
+
+Network::~Network() = default;
+
+void
+Network::step()
+{
+    const Cycle now = clock_.now();
+
+    // 1. Wire arrivals.
+    for (auto &lp : links_) {
+        Link &l = *lp;
+        for (LinkFlit &lf : l.drainFlits(now))
+            routers_[l.spec().dst]->receiveFlit(l.spec().dstPort, lf.vc,
+                                                lf.flit);
+        for (CreditMsg &c : l.drainCredits(now))
+            routers_[l.spec().src]->receiveCredit(l.spec().srcPort, c.vc,
+                                                  c.isFree);
+    }
+    for (auto &np : nics_)
+        np->drainWires(now);
+
+    // 2-3. SPIN phases.
+    if (spinMgr_) {
+        spinMgr_->smPhase(now);
+        spinMgr_->spinPhase(now);
+    }
+
+    // 4. Static Bubble recovery.
+    for (auto &bp : bubbles_)
+        bp->tick(now);
+
+    // 5. Injection.
+    for (auto &np : nics_)
+        np->injectStep(now);
+
+    // 6-7. Route compute, VC allocation, switch allocation.
+    for (auto &rp : routers_)
+        rp->computeRoutes();
+    for (auto &rp : routers_)
+        rp->allocateSwitch();
+
+    // 8. SPIN timers.
+    if (spinMgr_)
+        spinMgr_->fsmTick(now);
+
+    clock_.tick();
+}
+
+void
+Network::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+Link *
+Network::outLinkOf(RouterId r, PortId port)
+{
+    const std::int32_t i = outIdx_[r][port];
+    return i < 0 ? nullptr : links_[i].get();
+}
+
+const Link *
+Network::outLinkOf(RouterId r, PortId port) const
+{
+    const std::int32_t i = outIdx_[r][port];
+    return i < 0 ? nullptr : links_[i].get();
+}
+
+Link *
+Network::inLinkOf(RouterId r, PortId port)
+{
+    const std::int32_t i = inIdx_[r][port];
+    return i < 0 ? nullptr : links_[i].get();
+}
+
+Nic &
+Network::nicAt(RouterId r, PortId port)
+{
+    const NodeId n = nicIdx_[r][port];
+    SPIN_ASSERT(n != kInvalidId, "no NIC at router ", r, " port ", port);
+    return *nics_[n];
+}
+
+PacketPtr
+Network::makePacket(NodeId src, NodeId dest, VnetId vnet, int size_flits)
+{
+    SPIN_ASSERT(src >= 0 && src < numNodes(), "bad src node ", src);
+    SPIN_ASSERT(dest >= 0 && dest < numNodes(), "bad dest node ", dest);
+    SPIN_ASSERT(vnet >= 0 && vnet < cfg_.vnets, "bad vnet ", vnet);
+    SPIN_ASSERT(size_flits >= 1 && size_flits <= cfg_.maxPacketSize,
+                "bad packet size ", size_flits);
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = nextPacketId_++;
+    pkt->src = src;
+    pkt->dest = dest;
+    pkt->destRouter = topo_->routerOfNode(dest);
+    pkt->vnet = vnet;
+    pkt->sizeFlits = size_flits;
+    pkt->createCycle = clock_.now();
+    return pkt;
+}
+
+void
+Network::offerPacket(const PacketPtr &pkt)
+{
+    ++stats_.packetsCreated;
+    stats_.flitsCreated += pkt->sizeFlits;
+    ++inFlight_;
+    nics_[pkt->src]->offer(pkt);
+}
+
+void
+Network::setEjectListener(std::function<void(const PacketPtr &)> fn)
+{
+    ejectListener_ = std::move(fn);
+}
+
+void
+Network::notifyEjected(const PacketPtr &pkt)
+{
+    SPIN_ASSERT(inFlight_ > 0, "eject without matching offer");
+    --inFlight_;
+    if (ejectListener_)
+        ejectListener_(pkt);
+}
+
+void
+Network::beginMeasurement()
+{
+    stats_.reset(clock_.now());
+    for (auto &lp : links_)
+        lp->resetUses();
+    usageWindowStart_ = clock_.now();
+}
+
+LinkUsage
+Network::linkUsage() const
+{
+    LinkUsage u;
+    for (const auto &lp : links_) {
+        u.flitCycles += lp->flitUses();
+        u.probeCycles += lp->probeUses();
+        u.moveCycles += lp->moveUses();
+    }
+    u.totalCycles = links_.size() * (clock_.now() - usageWindowStart_);
+    const std::uint64_t used = u.flitCycles + u.probeCycles + u.moveCycles;
+    u.idleCycles = u.totalCycles > used ? u.totalCycles - used : 0;
+    return u;
+}
+
+} // namespace spin

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The assembled network: routers, links, NICs, the routing algorithm,
+ * the deadlock-freedom machinery, and the per-cycle phase schedule.
+ *
+ * Phase order within one cycle (see DESIGN.md):
+ *   1. wire arrivals (flits, credits) are delivered
+ *   2. SPIN special-message phase (arrivals processed, forwards contend
+ *      for links and block flits below)
+ *   3. SPIN rotation phase (synchronized one-hop movement)
+ *   4. Static Bubble recovery grants (when that baseline is active)
+ *   5. NIC injection
+ *   6. route compute + VC allocation
+ *   7. switch allocation + link traversal
+ *   8. SPIN FSM timers (expiries schedule SMs for the next cycle)
+ *   9. clock tick
+ */
+
+#ifndef SPINNOC_NETWORK_NETWORK_HH
+#define SPINNOC_NETWORK_NETWORK_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/Config.hh"
+#include "common/Packet.hh"
+#include "common/Random.hh"
+#include "common/Types.hh"
+#include "network/Link.hh"
+#include "network/Nic.hh"
+#include "router/Router.hh"
+#include "sim/Clock.hh"
+#include "stats/Stats.hh"
+#include "topology/Topology.hh"
+
+namespace spin
+{
+
+class RoutingAlgorithm;
+class SpinManager;
+class StaticBubbleUnit;
+
+/** Aggregate link-utilization summary (Fig. 8b). */
+struct LinkUsage
+{
+    std::uint64_t flitCycles = 0;
+    std::uint64_t probeCycles = 0;
+    std::uint64_t moveCycles = 0;
+    std::uint64_t idleCycles = 0;
+    std::uint64_t totalCycles = 0;
+
+    double frac(std::uint64_t c) const
+    {
+        return totalCycles ? double(c) / totalCycles : 0.0;
+    }
+};
+
+/** See file comment. */
+class Network
+{
+  public:
+    /**
+     * Assemble a network.
+     *
+     * @param topo finalized topology (shared, immutable)
+     * @param cfg  microarchitecture + deadlock-scheme parameters
+     * @param routing routing algorithm (ownership transferred)
+     */
+    Network(std::shared_ptr<const Topology> topo, const NetworkConfig &cfg,
+            std::unique_ptr<RoutingAlgorithm> routing);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /// @name Simulation control
+    /// @{
+    /** Advance one cycle. */
+    void step();
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+    Cycle now() const { return clock_.now(); }
+    /// @}
+
+    /// @name Component access
+    /// @{
+    const Topology &topo() const { return *topo_; }
+    const NetworkConfig &config() const { return cfg_; }
+    int numRouters() const { return topo_->numRouters(); }
+    int numNodes() const { return topo_->numNodes(); }
+    Router &router(RouterId r) { return *routers_[r]; }
+    const Router &router(RouterId r) const { return *routers_[r]; }
+    Nic &nic(NodeId n) { return *nics_[n]; }
+    RoutingAlgorithm &routing() { return *routing_; }
+    const RoutingAlgorithm &routing() const { return *routing_; }
+    Random &rng() { return rng_; }
+    Stats &stats() { return stats_; }
+    const Stats &stats() const { return stats_; }
+    /** SPIN manager; nullptr unless cfg.scheme == Spin. */
+    SpinManager *spinManager() { return spinMgr_.get(); }
+    /// @}
+
+    /// @name Links
+    /// @{
+    int numLinks() const { return static_cast<int>(links_.size()); }
+    Link &link(int idx) { return *links_[idx]; }
+    /** Out-link of (r, port); nullptr for NIC / unwired ports. */
+    Link *outLinkOf(RouterId r, PortId port);
+    const Link *outLinkOf(RouterId r, PortId port) const;
+    /** In-link feeding (r, port); nullptr for NIC / unwired ports. */
+    Link *inLinkOf(RouterId r, PortId port);
+    /** Index of the out-link of (r, port), -1 when unwired. */
+    int linkIndexOf(RouterId r, PortId port) const
+    {
+        return outIdx_[r][port];
+    }
+    /** NIC attached at (r, port). @pre the port is a NIC port. */
+    Nic &nicAt(RouterId r, PortId port);
+    /// @}
+
+    /// @name Traffic API
+    /// @{
+    /** Create a packet record with id / destRouter / createCycle set. */
+    PacketPtr makePacket(NodeId src, NodeId dest, VnetId vnet,
+                         int size_flits);
+    /** Hand a packet to its source NIC. */
+    void offerPacket(const PacketPtr &pkt);
+    /** Callback fired when a packet fully ejects (coherence traffic). */
+    void setEjectListener(std::function<void(const PacketPtr &)> fn);
+    /** Called by NICs on tail ejection. */
+    void notifyEjected(const PacketPtr &pkt);
+    /** Packets currently inside NIC queues or the network. */
+    std::uint64_t packetsInFlight() const { return inFlight_; }
+    /// @}
+
+    /// @name Measurement helpers
+    /// @{
+    /** Reset stats and per-link counters; opens a measurement window. */
+    void beginMeasurement();
+    /** Utilization summary over router-to-router links. */
+    LinkUsage linkUsage() const;
+    /// @}
+
+  private:
+    std::shared_ptr<const Topology> topo_;
+    NetworkConfig cfg_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    Clock clock_;
+    Random rng_;
+    Stats stats_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<std::unique_ptr<Link>> links_;
+    /** (router, port) -> link index or -1, both directions. */
+    std::vector<std::vector<std::int32_t>> outIdx_;
+    std::vector<std::vector<std::int32_t>> inIdx_;
+    /** (router, port) -> node id for NIC ports, else -1. */
+    std::vector<std::vector<NodeId>> nicIdx_;
+
+    std::unique_ptr<SpinManager> spinMgr_;
+    std::vector<std::unique_ptr<StaticBubbleUnit>> bubbles_;
+
+    std::function<void(const PacketPtr &)> ejectListener_;
+    PacketId nextPacketId_ = 1;
+    std::uint64_t inFlight_ = 0;
+    Cycle usageWindowStart_ = 0;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_NETWORK_NETWORK_HH

@@ -1,0 +1,109 @@
+#include "network/Nic.hh"
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+#include "routing/RoutingAlgorithm.hh"
+
+namespace spin
+{
+
+Nic::Nic(Network &net, NodeId id)
+    : net_(net),
+      id_(id),
+      router_(net.topo().routerOfNode(id)),
+      port_(net.topo().portOfNode(id)),
+      tracker_(port_, false, net.config().totalVcs(), net.config().vcDepth)
+{
+}
+
+void
+Nic::offer(const PacketPtr &pkt)
+{
+    SPIN_ASSERT(pkt->src == id_, "packet offered to wrong NIC");
+    queue_.push_back(pkt);
+}
+
+std::size_t
+Nic::queueLength() const
+{
+    return queue_.size();
+}
+
+void
+Nic::drainWires(Cycle now)
+{
+    for (LinkFlit &lf : injWire_.drain(now))
+        net_.router(router_).receiveFlit(port_, lf.vc, lf.flit);
+
+    for (Flit &f : ejectWire_.drain(now)) {
+        if (f.isTail()) {
+            f.pkt->ejectCycle = now;
+            net_.stats().onEject(*f.pkt);
+            net_.notifyEjected(f.pkt);
+        }
+    }
+
+    for (CreditMsg &c : credWire_.drain(now))
+        tracker_.onCredit(c.vc, c.isFree, now);
+}
+
+void
+Nic::injectStep(Cycle now)
+{
+    if (cur_.empty()) {
+        if (queue_.empty())
+            return;
+        const PacketPtr &pkt = queue_.front();
+
+        if (!pkt->sourceRouted) {
+            net_.routing().sourceRoute(*pkt, router_);
+            pkt->sourceRouted = true;
+        }
+
+        std::vector<VcId> allowed;
+        net_.routing().injectionVcs(*pkt, net_.router(router_), allowed);
+        applyVcReservation(net_, *pkt, allowed);
+        const VcId vc = tracker_.allocate(allowed, pkt->id, now);
+        if (vc == kInvalidId)
+            return; // no free VC at the local in-port yet
+        curVc_ = vc;
+        cur_ = makeFlits(pkt);
+        curIdx_ = 0;
+    }
+
+    if (tracker_.credits(curVc_) <= 0)
+        return;
+
+    Flit &f = cur_[curIdx_];
+    tracker_.consumeCredit(curVc_);
+    injWire_.push(now + kNicLatency, LinkFlit{f, curVc_});
+
+    Stats &st = net_.stats();
+    if (f.isHead()) {
+        f.pkt->injectCycle = now;
+        ++st.packetsInjected;
+    }
+    ++st.flitsInjected;
+
+    ++curIdx_;
+    if (curIdx_ == cur_.size()) {
+        queue_.pop_front();
+        cur_.clear();
+        curIdx_ = 0;
+        curVc_ = kInvalidId;
+    }
+}
+
+void
+Nic::pushEject(Cycle arrival, const Flit &f)
+{
+    ejectWire_.push(arrival, f);
+}
+
+void
+Nic::pushCredit(Cycle arrival, VcId vc, bool is_free)
+{
+    credWire_.push(arrival, CreditMsg{vc, is_free});
+}
+
+} // namespace spin

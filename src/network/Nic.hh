@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Network interface controller: injects packets offered by the traffic
+ * layer into its router's local input port (acquiring VCs like any
+ * upstream router would) and ejects arriving packets without stalls, as
+ * the paper assumes.
+ */
+
+#ifndef SPINNOC_NETWORK_NIC_HH
+#define SPINNOC_NETWORK_NIC_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/Packet.hh"
+#include "common/Types.hh"
+#include "network/Link.hh"
+#include "router/OutputUnit.hh"
+#include "sim/DelayLine.hh"
+
+namespace spin
+{
+
+class Network;
+
+/** See file comment. NIC links have 1-cycle latency in each direction. */
+class Nic
+{
+  public:
+    Nic(Network &net, NodeId id);
+
+    NodeId id() const { return id_; }
+    RouterId router() const { return router_; }
+    PortId port() const { return port_; }
+
+    /** Queue a packet for injection (unbounded source queue). */
+    void offer(const PacketPtr &pkt);
+    /** Packets waiting, including the one currently streaming. */
+    std::size_t queueLength() const;
+
+    /// @name Per-cycle phases, called by Network::step()
+    /// @{
+    /** Deliver wire arrivals: flits into router / NIC, credits. */
+    void drainWires(Cycle now);
+    /** Try to push one flit of the current packet toward the router. */
+    void injectStep(Cycle now);
+    /// @}
+
+    /** Called by the router side: flit ejected toward this NIC. */
+    void pushEject(Cycle arrival, const Flit &f);
+    /** Called by the router side: credit for local in-port VC @p vc. */
+    void pushCredit(Cycle arrival, VcId vc, bool is_free);
+
+    /** Upstream view of the router's local in-port VCs. */
+    const OutputUnit &tracker() const { return tracker_; }
+
+  private:
+    Network &net_;
+    NodeId id_;
+    RouterId router_;
+    PortId port_;
+
+    std::deque<PacketPtr> queue_;
+    /** Flits of the packet currently streaming in; curIdx_ is next. */
+    std::vector<Flit> cur_;
+    std::size_t curIdx_ = 0;
+    VcId curVc_ = kInvalidId;
+
+    OutputUnit tracker_;
+    DelayLine<LinkFlit> injWire_;
+    DelayLine<Flit> ejectWire_;
+    DelayLine<CreditMsg> credWire_;
+
+    static constexpr Cycle kNicLatency = 1;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_NETWORK_NIC_HH

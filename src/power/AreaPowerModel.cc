@@ -1,0 +1,105 @@
+#include "power/AreaPowerModel.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/Logging.hh"
+#include "core/LoopBuffer.hh"
+
+namespace spin
+{
+
+namespace
+{
+
+// Calibrated component constants (um^2). Absolute values are
+// placeholders for a 15nm-class process; only the ratios matter and
+// they are validated against the paper's published numbers in
+// tests/test_power.cc and EXPERIMENTS.md.
+constexpr double kBufBitArea = 0.60;   // per buffered bit
+constexpr double kXbarCoeff = 0.25;    // * radix^2 * flitBits
+constexpr double kVaCoeff = 3.0;       // * radix * vcs^2
+constexpr double kSaCoeff = 2.5;       // * radix^2 * vcs
+constexpr double kRouteCoeff = 30.0;   // * radix * vnets
+constexpr double kFixed = 3600.0;      // clocking, control, link drivers
+
+// Scheme extras.
+constexpr double kSpinFsmArea = 250.0;
+constexpr double kSpinMgrCoeff = 1.5;  // * radix * vcs
+constexpr double kBubbleDepth = 8;     // central recovery buffer, flits
+constexpr double kBubbleFsmArea = 200.0;
+constexpr double kEscapeLogic = 300.0; // escape routing tables
+
+// Power weights (mW per um^2 equivalents; buffers toggle hardest).
+constexpr double kPwrBuf = 0.0050;
+constexpr double kPwrXbar = 0.0060;
+constexpr double kPwrLogic = 0.0035;
+constexpr double kPwrFixed = 0.0030;
+
+} // namespace
+
+int
+AreaPowerModel::effectiveVcs(const RouterDesign &d)
+{
+    int vcs = d.vnets * d.vcsPerVnet;
+    if (d.extras == SchemeExtras::EscapeVc)
+        vcs += d.vnets; // one escape VC per vnet
+    return vcs;
+}
+
+AreaPower
+AreaPowerModel::evaluate(const RouterDesign &d)
+{
+    SPIN_ASSERT(d.radix >= 2 && d.vnets >= 1 && d.vcsPerVnet >= 1 &&
+                d.vcDepthFlits >= 1 && d.flitBits >= 1,
+                "bad router design");
+
+    const int vcs = effectiveVcs(d);
+    const double buf_bits = static_cast<double>(d.radix) * vcs *
+                            d.vcDepthFlits * d.flitBits;
+    const double buf = buf_bits * kBufBitArea;
+    const double xbar = kXbarCoeff * d.radix * d.radix * d.flitBits;
+    const double va = kVaCoeff * d.radix * vcs * vcs;
+    const double sa = kSaCoeff * d.radix * d.radix * vcs;
+    const double route = kRouteCoeff * d.radix * d.vnets;
+
+    double extras = 0.0;
+    switch (d.extras) {
+      case SchemeExtras::None:
+        break;
+      case SchemeExtras::EscapeVc:
+        // Buffer/allocator growth is in effectiveVcs(); add the escape
+        // routing tables.
+        extras = kEscapeLogic;
+        break;
+      case SchemeExtras::StaticBubble:
+        extras = kBubbleDepth * d.flitBits * kBufBitArea + kBubbleFsmArea;
+        break;
+      case SchemeExtras::Spin:
+        extras = LoopBuffer::sizeBits(d.radix, d.numRouters) * kBufBitArea
+                 + kSpinFsmArea + kSpinMgrCoeff * d.radix * vcs;
+        break;
+    }
+
+    AreaPower ap;
+    ap.areaUm2 = buf + xbar + va + sa + route + kFixed + extras;
+    ap.powerMw = buf * kPwrBuf + xbar * kPwrXbar +
+                 (va + sa + route + extras) * kPwrLogic +
+                 kFixed * kPwrFixed;
+    return ap;
+}
+
+std::string
+AreaPowerModel::breakdown(const RouterDesign &d)
+{
+    const int vcs = effectiveVcs(d);
+    const AreaPower ap = evaluate(d);
+    std::ostringstream os;
+    os << "radix=" << d.radix << " vcs/port=" << vcs
+       << " depth=" << d.vcDepthFlits << " width=" << d.flitBits
+       << "b -> area=" << ap.areaUm2 << "um^2 power=" << ap.powerMw
+       << "mW";
+    return os.str();
+}
+
+} // namespace spin

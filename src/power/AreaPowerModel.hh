@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytical router area / power model.
+ *
+ * The paper synthesizes RTL in the Nangate 15nm open cell library and
+ * reports *relative* numbers (Fig. 10 and the area/power claims of
+ * Sec. VI-C/D). We reproduce those ratios with a component-level
+ * analytical model: per-bit buffer cells, a radix^2 crossbar, VC and
+ * switch allocators, routing tables, and the deadlock-scheme extras
+ * (escape buffers, the Static Bubble recovery buffer + FSM, SPIN's
+ * loop buffer + FSM + probe/move managers). Constants are calibrated
+ * against published synthesis ratios; see EXPERIMENTS.md.
+ */
+
+#ifndef SPINNOC_POWER_AREAPOWERMODEL_HH
+#define SPINNOC_POWER_AREAPOWERMODEL_HH
+
+#include <string>
+
+namespace spin
+{
+
+/** Deadlock-freedom extras attached to a router design. */
+enum class SchemeExtras
+{
+    None,         //!< plain turn-restricted router (e.g. west-first)
+    EscapeVc,     //!< +1 escape VC per vnet + escape routing logic
+    StaticBubble, //!< +1 reserved VC per vnet + timeout FSM
+    Spin,         //!< +loop buffer, FSM, probe/move managers
+};
+
+/** One router design point. */
+struct RouterDesign
+{
+    int radix = 5;           //!< ports incl. local
+    int vnets = 3;           //!< message classes
+    int vcsPerVnet = 1;      //!< data VCs per vnet (extras separate)
+    int vcDepthFlits = 5;    //!< buffer depth per VC
+    int flitBits = 128;      //!< datapath width
+    int numRouters = 64;     //!< network size (loop buffer sizing)
+    SchemeExtras extras = SchemeExtras::None;
+};
+
+/** Area in um^2 and power in mW (relative fidelity only). */
+struct AreaPower
+{
+    double areaUm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/** See file comment. */
+class AreaPowerModel
+{
+  public:
+    /** Evaluate one router design point. */
+    static AreaPower evaluate(const RouterDesign &d);
+
+    /** Total data VCs per input port (including scheme extras). */
+    static int effectiveVcs(const RouterDesign &d);
+
+    /** Component breakdown string for reports. */
+    static std::string breakdown(const RouterDesign &d);
+};
+
+} // namespace spin
+
+#endif // SPINNOC_POWER_AREAPOWERMODEL_HH

@@ -1,0 +1,32 @@
+#include "router/InputUnit.hh"
+
+namespace spin
+{
+
+InputUnit::InputUnit(PortId port, bool from_nic, int num_vcs)
+    : port_(port), fromNic_(from_nic)
+{
+    vcs_.resize(num_vcs);
+}
+
+bool
+InputUnit::allVcsActive() const
+{
+    for (const auto &v : vcs_) {
+        if (!v.active())
+            return false;
+    }
+    return true;
+}
+
+bool
+InputUnit::allVcsActive(VcId lo, VcId hi) const
+{
+    for (VcId v = lo; v <= hi; ++v) {
+        if (!vcs_[v].active())
+            return false;
+    }
+    return true;
+}
+
+} // namespace spin

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Input-side unit for one router input port: the VC array plus the
+ * round-robin pointer used by the input stage of switch allocation.
+ */
+
+#ifndef SPINNOC_ROUTER_INPUTUNIT_HH
+#define SPINNOC_ROUTER_INPUTUNIT_HH
+
+#include <vector>
+
+#include "common/Types.hh"
+#include "router/VirtualChannel.hh"
+
+namespace spin
+{
+
+/** VC array at one input port. */
+class InputUnit
+{
+  public:
+    /**
+     * @param port this input port's id
+     * @param from_nic true when fed by a NIC (injection port); such
+     *        ports are excluded from SPIN (local buffers can never be
+     *        part of a cyclic in-network dependency, Sec. IV-B)
+     * @param num_vcs VCs at this port
+     */
+    InputUnit(PortId port, bool from_nic, int num_vcs);
+
+    PortId port() const { return port_; }
+    bool fromNic() const { return fromNic_; }
+    int numVcs() const { return static_cast<int>(vcs_.size()); }
+
+    VirtualChannel &vc(VcId v) { return vcs_[v]; }
+    const VirtualChannel &vc(VcId v) const { return vcs_[v]; }
+
+    /** True when every VC at the port is active (probe fork condition:
+     *  a free VC here means upstream could still make progress). */
+    bool allVcsActive() const;
+    /** Same, restricted to VC indices [lo, hi] (one vnet's VCs). */
+    bool allVcsActive(VcId lo, VcId hi) const;
+
+    /** Round-robin pointer for SA input arbitration. */
+    VcId rrPointer = 0;
+
+  private:
+    PortId port_;
+    bool fromNic_;
+    std::vector<VirtualChannel> vcs_;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_ROUTER_INPUTUNIT_HH

@@ -1,0 +1,122 @@
+#include "router/OutputUnit.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+OutputUnit::OutputUnit(PortId port, bool to_nic, int num_vcs, int depth)
+    : port_(port), toNic_(to_nic), depth_(depth)
+{
+    vcs_.resize(num_vcs);
+    for (auto &v : vcs_)
+        v.credits = depth;
+}
+
+int
+OutputUnit::credits(VcId vc) const
+{
+    if (toNic_)
+        return std::numeric_limits<int>::max() / 2;
+    return vcs_[vc].credits;
+}
+
+bool
+OutputUnit::hasIdleVcIn(VcId lo, VcId hi) const
+{
+    if (toNic_)
+        return true;
+    for (VcId v = lo; v <= hi; ++v) {
+        if (vcs_[v].idle)
+            return true;
+    }
+    return false;
+}
+
+VcId
+OutputUnit::allocate(const std::vector<VcId> &allowed, PacketId owner,
+                     Cycle now)
+{
+    SPIN_ASSERT(!toNic_, "NIC ports need no VC allocation");
+    for (const VcId v : allowed) {
+        DownVc &d = vcs_[v];
+        if (d.idle) {
+            SPIN_ASSERT(d.credits == depth_,
+                        "idle downstream VC with missing credits");
+            d.idle = false;
+            d.owner = owner;
+            d.activeSince = now;
+            return v;
+        }
+    }
+    return kInvalidId;
+}
+
+void
+OutputUnit::forceAllocate(VcId vc, PacketId owner, Cycle now)
+{
+    SPIN_ASSERT(!toNic_, "cannot force-allocate a NIC port");
+    DownVc &d = vcs_[vc];
+    d.idle = false;
+    d.owner = owner;
+    d.activeSince = now;
+}
+
+void
+OutputUnit::consumeCredit(VcId vc)
+{
+    if (toNic_)
+        return;
+    DownVc &d = vcs_[vc];
+    --d.credits;
+    // Transiently negative only during a SPIN rotation, where the
+    // vacating packet's credits are still in flight back to us.
+    SPIN_ASSERT(d.credits >= -depth_, "credit underflow on vc ", vc);
+}
+
+void
+OutputUnit::onCredit(VcId vc, bool is_free, Cycle now)
+{
+    SPIN_ASSERT(!toNic_, "credits from a NIC port");
+    DownVc &d = vcs_[vc];
+    ++d.credits;
+    SPIN_ASSERT(d.credits <= depth_, "credit overflow on vc ", vc);
+    if (is_free) {
+        SPIN_ASSERT(d.credits == depth_,
+                    "free signal with outstanding credits on vc ", vc);
+        d.idle = true;
+        d.owner = 0;
+        d.activeSince = now;
+    }
+}
+
+int
+OutputUnit::occupancy() const
+{
+    if (toNic_)
+        return 0;
+    int occ = 0;
+    for (const auto &d : vcs_)
+        occ += std::max(0, depth_ - d.credits);
+    return occ;
+}
+
+Cycle
+OutputUnit::minActiveTime(VcId lo, VcId hi, Cycle now) const
+{
+    if (toNic_)
+        return 0;
+    Cycle best = kNeverCycle;
+    for (VcId v = lo; v <= hi; ++v) {
+        const DownVc &d = vcs_[v];
+        if (d.idle)
+            return 0;
+        best = std::min(best, now - d.activeSince);
+    }
+    return best;
+}
+
+} // namespace spin

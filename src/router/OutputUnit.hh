@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Output-side bookkeeping for one router output port: the upstream view
+ * of the virtual channels at the downstream router's matching input port,
+ * maintained through credit messages. Because links are point-to-point,
+ * this unit is the sole allocator of those downstream VCs.
+ */
+
+#ifndef SPINNOC_ROUTER_OUTPUTUNIT_HH
+#define SPINNOC_ROUTER_OUTPUTUNIT_HH
+
+#include <vector>
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+/**
+ * Downstream-VC state tracker and credit counter for one output port.
+ * NIC (ejection) ports are modeled as always-free sinks: the paper's
+ * NICs "eject flits without any stalls".
+ */
+class OutputUnit
+{
+  public:
+    /**
+     * @param port  this output port's id
+     * @param to_nic true when the port ejects to a NIC
+     * @param num_vcs VCs at the downstream input port
+     * @param depth  downstream VC buffer depth in flits
+     */
+    OutputUnit(PortId port, bool to_nic, int num_vcs, int depth);
+
+    PortId port() const { return port_; }
+    bool toNic() const { return toNic_; }
+    int numVcs() const { return static_cast<int>(vcs_.size()); }
+
+    /** True when downstream VC @p vc is unallocated. */
+    bool isIdle(VcId vc) const { return toNic_ || vcs_[vc].idle; }
+    /** Free-slot count believed for downstream VC @p vc. */
+    int credits(VcId vc) const;
+    /** Cycle the downstream VC last became active (for FAvORS t_active). */
+    Cycle activeSince(VcId vc) const { return vcs_[vc].activeSince; }
+    /** Packet holding the allocation of @p vc, 0 when idle. */
+    PacketId ownerOf(VcId vc) const { return vcs_[vc].owner; }
+
+    /** True when any VC in [lo, hi] is idle (NIC ports: always). */
+    bool hasIdleVcIn(VcId lo, VcId hi) const;
+
+    /**
+     * Allocate the first idle VC from @p allowed to packet @p owner.
+     * @return the granted VC, or kInvalidId when none is idle.
+     */
+    VcId allocate(const std::vector<VcId> &allowed, PacketId owner,
+                  Cycle now);
+
+    /** SPIN rotation: seize @p vc for @p owner regardless of state. */
+    void forceAllocate(VcId vc, PacketId owner, Cycle now);
+
+    /** A flit was sent into downstream VC @p vc. */
+    void consumeCredit(VcId vc);
+
+    /** Credit returned from downstream for @p vc. */
+    void onCredit(VcId vc, bool is_free, Cycle now);
+
+    /** Total buffered flits downstream (UGAL congestion estimate). */
+    int occupancy() const;
+
+    /**
+     * Minimum t_active over VCs in [lo, hi]: cycles the longest-idle...
+     * more precisely the *least* number of cycles any allocated VC has
+     * been active for, 0 when an idle VC exists (FAvORS Sec. V).
+     */
+    Cycle minActiveTime(VcId lo, VcId hi, Cycle now) const;
+
+  private:
+    struct DownVc
+    {
+        bool idle = true;
+        int credits = 0;
+        PacketId owner = 0;
+        Cycle activeSince = 0;
+    };
+
+    PortId port_;
+    bool toNic_;
+    int depth_;
+    std::vector<DownVc> vcs_;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_ROUTER_OUTPUTUNIT_HH

@@ -1,0 +1,371 @@
+#include "router/Router.hh"
+
+#include "common/Logging.hh"
+#include "core/SpinUnit.hh"
+#include "network/Network.hh"
+#include "routing/RoutingAlgorithm.hh"
+#include "routing/WestFirst.hh"
+
+namespace spin
+{
+
+Router::Router(Network &net, RouterId id) : net_(net), id_(id)
+{
+    const Topology &topo = net.topo();
+    const NetworkConfig &cfg = net.config();
+    const int radix = topo.radix(id);
+
+    nicPort_.assign(radix, false);
+    for (const NodeId n : topo.nodesAt(id))
+        nicPort_[topo.portOfNode(n)] = true;
+
+    inputs_.reserve(radix);
+    outputs_.reserve(radix);
+    for (PortId p = 0; p < radix; ++p) {
+        inputs_.emplace_back(p, nicPort_[p], cfg.totalVcs());
+        outputs_.emplace_back(p, nicPort_[p], cfg.totalVcs(), cfg.vcDepth);
+    }
+    outRr_.assign(radix, 0);
+}
+
+Router::~Router() = default;
+
+void
+Router::setSpinUnit(std::unique_ptr<SpinUnit> u)
+{
+    spin_ = std::move(u);
+}
+
+void
+Router::receiveFlit(PortId inport, VcId vcid, const Flit &f)
+{
+    const Cycle now = net_.now();
+    Flit copy = f;
+    copy.arrivedAt = now;
+    inputs_[inport].vc(vcid).pushFlit(copy, now);
+    if (spin_ && !inputs_[inport].fromNic())
+        spin_->onFlitArrival(inport, vcid);
+}
+
+void
+Router::receiveCredit(PortId outport, VcId vcid, bool is_free)
+{
+    outputs_[outport].onCredit(vcid, is_free, net_.now());
+}
+
+void
+Router::computeRoutes()
+{
+    for (PortId inport = 0; inport < radix(); ++inport) {
+        InputUnit &iu = inputs_[inport];
+        for (VcId v = 0; v < iu.numVcs(); ++v) {
+            VirtualChannel &vc = iu.vc(v);
+            if (!vc.active() || vc.empty() || vc.frozen)
+                continue;
+            if (!vc.front().isHead())
+                continue;
+            if (vc.grantedVc != kInvalidId)
+                continue; // committed; waiting only on switch/credits
+            routeVc(inport, v);
+            tryVcAllocation(inport, v);
+        }
+    }
+}
+
+void
+Router::routeVc(PortId inport, VcId vcid)
+{
+    VirtualChannel &vc = inputs_[inport].vc(vcid);
+    Packet &pkt = *vc.owner();
+
+    PortId request;
+    if (pkt.destRouter == id_) {
+        request = net_.topo().portOfNode(pkt.dest);
+    } else if (net_.config().scheme == DeadlockScheme::StaticBubble &&
+               pkt.onEscape) {
+        // Recovery packets drain on the reserved network via west-first.
+        SPIN_ASSERT(net_.topo().mesh.has_value(),
+                    "static bubble escape requires a mesh");
+        request = westFirstNextPort(*net_.topo().mesh, id_, pkt.destRouter);
+    } else {
+        if (pkt.intermediate != kInvalidId && !pkt.phaseTwo &&
+            pkt.intermediate == id_) {
+            pkt.phaseTwo = true;
+        }
+        const RouterId target =
+            (pkt.intermediate != kInvalidId && !pkt.phaseTwo)
+            ? pkt.intermediate
+            : pkt.destRouter;
+        RoutingAlgorithm &algo = net_.routing();
+        algo.candidates(pkt, *this, target, scratchPorts_);
+        SPIN_ASSERT(!scratchPorts_.empty(), "routing produced no "
+                    "candidates at router ", id_, " for ", pkt.toString());
+        request = algo.select(pkt, *this, scratchPorts_);
+
+        // Request hysteresis: adaptive selection runs every cycle, but
+        // a blocked head only re-targets a *different* port when that
+        // port actually has a free allowed VC. This keeps the buffer
+        // dependencies SPIN traces stable inside a deadlock (where no
+        // port has free VCs and re-selection would be a coin flip)
+        // without giving up any real adaptivity.
+        if (vc.routeValid && request != vc.request &&
+            !hasIdleAllowedVc(pkt, request)) {
+            bool still_candidate = false;
+            for (const PortId c : scratchPorts_)
+                still_candidate |= c == vc.request;
+            if (still_candidate)
+                request = vc.request;
+        }
+    }
+
+    vc.request = request;
+    vc.routeValid = true;
+}
+
+bool
+Router::hasIdleAllowedVc(const Packet &pkt, PortId outport) const
+{
+    const OutputUnit &out = outputs_[outport];
+    if (out.toNic())
+        return true;
+    net_.routing().allowedVcs(pkt, *this, outport, scratchVcs_);
+    applyVcReservation(net_, pkt, scratchVcs_);
+    for (const VcId v : scratchVcs_) {
+        if (out.isIdle(v))
+            return true;
+    }
+    return false;
+}
+
+void
+Router::tryVcAllocation(PortId inport, VcId vcid)
+{
+    VirtualChannel &vc = inputs_[inport].vc(vcid);
+    if (!vc.routeValid || vc.grantedVc != kInvalidId)
+        return;
+    Packet &pkt = *vc.owner();
+    OutputUnit &out = outputs_[vc.request];
+
+    if (out.toNic()) {
+        // Ejection: the NIC sinks flits without stalls; no VC needed.
+        vc.grantedVc = 0;
+        return;
+    }
+
+    RoutingAlgorithm &algo = net_.routing();
+    if (!out.toNic() && !algo.admission(pkt, *this, inport, vc.request))
+        return; // flow-control gate (e.g. bubble condition)
+    if (net_.config().scheme == DeadlockScheme::StaticBubble &&
+        pkt.onEscape) {
+        scratchVcs_.clear();
+        const int per = net_.config().vcsPerVnet;
+        scratchVcs_.push_back(pkt.vnet * per + per - 1);
+    } else {
+        algo.allowedVcs(pkt, *this, vc.request, scratchVcs_);
+        applyVcReservation(net_, pkt, scratchVcs_);
+    }
+
+    const VcId granted = out.allocate(scratchVcs_, pkt.id, net_.now());
+    if (granted != kInvalidId) {
+        vc.grantedVc = granted;
+        algo.onVcGranted(pkt, *this, vc.request, granted);
+    }
+}
+
+bool
+Router::readyToSend(PortId inport, VcId vcid, Cycle now) const
+{
+    const VirtualChannel &vc = inputs_[inport].vc(vcid);
+    if (vc.empty() || vc.frozen || !vc.routeValid ||
+        vc.grantedVc == kInvalidId) {
+        return false;
+    }
+    if (vc.front().arrivedAt >= now)
+        return false; // one-cycle router: cannot leave the arrival cycle
+    const OutputUnit &out = outputs_[vc.request];
+    if (out.credits(vc.grantedVc) <= 0)
+        return false;
+    if (out.toNic())
+        return true;
+    const Link *l = net_.outLinkOf(id_, vc.request);
+    SPIN_ASSERT(l, "granted route over unwired port ", vc.request,
+                " at router ", id_);
+    return l->freeForFlit(now);
+}
+
+void
+Router::allocateSwitch()
+{
+    const Cycle now = net_.now();
+    const int n = radix();
+
+    // Stage 1: one candidate VC per input port (round-robin).
+    scratchPorts_.assign(n, kInvalidId); // reused as per-inport winner vc
+    for (PortId inport = 0; inport < n; ++inport) {
+        InputUnit &iu = inputs_[inport];
+        const int vcs = iu.numVcs();
+        for (int k = 0; k < vcs; ++k) {
+            const VcId v = (iu.rrPointer + k) % vcs;
+            if (readyToSend(inport, v, now)) {
+                scratchPorts_[inport] = v;
+                break;
+            }
+        }
+    }
+
+    // Stage 2: one input port per output port (round-robin).
+    for (PortId outport = 0; outport < n; ++outport) {
+        PortId winner = kInvalidId;
+        for (int k = 0; k < n; ++k) {
+            const PortId inport = (outRr_[outport] + k) % n;
+            const VcId v = scratchPorts_[inport];
+            if (v != kInvalidId &&
+                inputs_[inport].vc(v).request == outport) {
+                winner = inport;
+                break;
+            }
+        }
+        if (winner == kInvalidId)
+            continue;
+        const VcId v = scratchPorts_[winner];
+        sendFlit(winner, v);
+        scratchPorts_[winner] = kInvalidId;
+        inputs_[winner].rrPointer = (v + 1) % inputs_[winner].numVcs();
+        outRr_[outport] = (winner + 1) % n;
+    }
+}
+
+void
+Router::sendFlit(PortId inport, VcId vcid)
+{
+    const Cycle now = net_.now();
+    VirtualChannel &vc = inputs_[inport].vc(vcid);
+    const PortId outport = vc.request;
+    const VcId dvc = vc.grantedVc;
+    const PacketPtr pkt = vc.owner();
+
+    vc.noteProgress(now);
+    const Flit f = vc.popFlit();
+    OutputUnit &out = outputs_[outport];
+    out.consumeCredit(dvc);
+
+    if (out.toNic()) {
+        net_.nicAt(id_, outport).pushEject(now + 1, f);
+    } else {
+        Link *l = net_.outLinkOf(id_, outport);
+        l->pushFlit(now, LinkFlit{f, dvc});
+    }
+
+    creditUpstream(inport, vcid, f.isTail());
+
+    if (spin_ && !inputs_[inport].fromNic())
+        spin_->onFlitDeparture(inport, vcid);
+
+    if (f.isHead() && !out.toNic()) {
+        ++pkt->hops;
+        net_.routing().onHop(*pkt, *this, outport);
+    }
+}
+
+void
+Router::creditUpstream(PortId inport, VcId vcid, bool is_free)
+{
+    const Cycle now = net_.now();
+    if (inputs_[inport].fromNic()) {
+        net_.nicAt(id_, inport).pushCredit(now + 1, vcid, is_free);
+    } else {
+        Link *l = net_.inLinkOf(id_, inport);
+        SPIN_ASSERT(l, "flit in a VC at unwired in-port ", inport,
+                    " of router ", id_);
+        l->pushCredit(now + l->latency(), CreditMsg{vcid, is_free});
+    }
+}
+
+PortId
+Router::depRequest(PortId inport, VcId vcid) const
+{
+    const VirtualChannel &vc = inputs_[inport].vc(vcid);
+    if (!vc.active())
+        return kInvalidId;
+    if (vc.frozen)
+        return vc.frozenOutport;
+    return vc.routeValid ? vc.request : kInvalidId;
+}
+
+bool
+Router::isEjectRequest(PortId inport, VcId vcid) const
+{
+    const PortId req = depRequest(inport, vcid);
+    return req != kInvalidId && nicPort_[req];
+}
+
+void
+Router::forceSend(PortId inport, VcId vcid, PortId outport, VcId down_vc,
+                  bool refilled)
+{
+    const Cycle now = net_.now();
+    VirtualChannel &vc = inputs_[inport].vc(vcid);
+    SPIN_ASSERT(vc.packetComplete(), "rotating an incomplete packet");
+    SPIN_ASSERT(!inputs_[inport].fromNic(), "rotating a local in-port");
+
+    const PacketPtr pkt = vc.owner();
+    const int n = pkt->sizeFlits;
+
+    std::vector<LinkFlit> lfs;
+    lfs.reserve(n);
+    while (!vc.empty())
+        lfs.push_back(LinkFlit{vc.popFlit(), down_vc});
+
+    Link *l = net_.outLinkOf(id_, outport);
+    SPIN_ASSERT(l, "rotation over unwired port");
+    OutputUnit &out = outputs_[outport];
+    out.forceAllocate(down_vc, pkt->id, now);
+    for (int i = 0; i < n; ++i)
+        out.consumeCredit(down_vc);
+    l->pushPacket(now, lfs);
+
+    // Return credits upstream as one burst: the pop is instantaneous
+    // in this model, and the credit wire is ordered, so a staggered
+    // return could be overtaken by the free signal of the packet
+    // rotating *into* this VC. When the loop's upstream member
+    // force-allocates this VC in the same cycle (refilled), the isFree
+    // tail signal is suppressed so the upstream output unit never sees
+    // a spurious release.
+    Link *ul = net_.inLinkOf(id_, inport);
+    SPIN_ASSERT(ul, "frozen VC at unwired in-port");
+    for (int i = 0; i < n; ++i) {
+        const bool free_sig = !refilled && i == n - 1;
+        ul->pushCredit(now + ul->latency(), CreditMsg{vcid, free_sig});
+    }
+
+    ++pkt->hops;
+    ++pkt->spins;
+    net_.routing().onHop(*pkt, *this, outport);
+    ++net_.stats().packetsRotated;
+
+    if (spin_)
+        spin_->onFlitDeparture(inport, vcid);
+}
+
+void
+Router::grantReserved(PortId inport, VcId vcid, PortId outport,
+                      VcId down_vc)
+{
+    VirtualChannel &vc = inputs_[inport].vc(vcid);
+    SPIN_ASSERT(vc.routeValid && vc.grantedVc == kInvalidId,
+                "reserved grant on a VC that is not waiting");
+    Packet &pkt = *vc.owner();
+
+    // Re-target the packet's request to the recovery entry port.
+    vc.request = outport;
+    scratchVcs_.clear();
+    scratchVcs_.push_back(down_vc);
+    const VcId got = outputs_[outport].allocate(scratchVcs_, pkt.id,
+                                                net_.now());
+    SPIN_ASSERT(got == down_vc, "reserved VC was not idle");
+    vc.grantedVc = got;
+    pkt.onEscape = true;
+    ++net_.stats().bubbleRecoveries;
+}
+
+} // namespace spin

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * One-cycle virtual-cut-through router.
+ *
+ * Pipeline model (matching Garnet's 1-cycle router that the paper
+ * simulates): flits arriving at cycle t are eligible for route compute,
+ * VC allocation and switch allocation at cycle t+1 and traverse the link
+ * the same cycle, arriving downstream at t+1+L.
+ *
+ * The router exposes the hooks SPIN needs: per-VC requested output ports
+ * (buffer dependencies), freeze/unfreeze, and forced sends for the
+ * synchronized rotation.
+ */
+
+#ifndef SPINNOC_ROUTER_ROUTER_HH
+#define SPINNOC_ROUTER_ROUTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/Config.hh"
+#include "common/Packet.hh"
+#include "common/Types.hh"
+#include "router/InputUnit.hh"
+#include "router/OutputUnit.hh"
+
+namespace spin
+{
+
+class Network;
+class SpinUnit;
+
+/** See file comment. */
+class Router
+{
+  public:
+    Router(Network &net, RouterId id);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    RouterId id() const { return id_; }
+    int radix() const { return static_cast<int>(inputs_.size()); }
+
+    InputUnit &input(PortId p) { return inputs_[p]; }
+    const InputUnit &input(PortId p) const { return inputs_[p]; }
+    OutputUnit &output(PortId p) { return outputs_[p]; }
+    const OutputUnit &output(PortId p) const { return outputs_[p]; }
+
+    /** True when @p p connects to a NIC. */
+    bool isNicPort(PortId p) const { return nicPort_[p]; }
+
+    /** The network this router belongs to. */
+    Network &network() { return net_; }
+    const Network &network() const { return net_; }
+
+    /** SPIN per-router unit; nullptr unless scheme == Spin. */
+    SpinUnit *spinUnit() { return spin_.get(); }
+    const SpinUnit *spinUnit() const { return spin_.get(); }
+    void setSpinUnit(std::unique_ptr<SpinUnit> u);
+
+    /// @name Per-cycle phases, called by Network::step()
+    /// @{
+    /** A flit arrived from the wire into (inport, vc). */
+    void receiveFlit(PortId inport, VcId vc, const Flit &f);
+    /** A credit arrived for downstream VC @p vc of @p outport. */
+    void receiveCredit(PortId outport, VcId vc, bool is_free);
+    /** Route compute + VC allocation for head packets. */
+    void computeRoutes();
+    /** Switch allocation + link traversal. */
+    void allocateSwitch();
+    /// @}
+
+    /// @name Dependency queries (used by SPIN and the oracle detector)
+    /// @{
+    /**
+     * Output port the packet in (inport, vc) is currently waiting on:
+     * the frozen port when frozen, else the live request.
+     * kInvalidId when idle or not yet routed.
+     */
+    PortId depRequest(PortId inport, VcId vc) const;
+    /** True when that request is the ejection (NIC) port. */
+    bool isEjectRequest(PortId inport, VcId vc) const;
+    /// @}
+
+    /**
+     * SPIN rotation: force the complete packet in (inport, vc) out of
+     * @p outport into downstream VC @p down_vc, bypassing allocation.
+     * Handles credits, link busy accounting and routing hooks.
+     *
+     * @param refilled true when another rotating packet enters this VC
+     *        in the same cycle (the normal closed-loop case); when
+     *        false the final upstream credit carries the free signal so
+     *        the upstream output unit releases the VC.
+     */
+    void forceSend(PortId inport, VcId vc, PortId outport, VcId down_vc,
+                   bool refilled);
+
+    /**
+     * Static Bubble recovery: grant the reserved downstream VC
+     * @p down_vc of @p outport to the blocked head in (inport, vc).
+     */
+    void grantReserved(PortId inport, VcId vc, PortId outport,
+                       VcId down_vc);
+
+  private:
+    Network &net_;
+    RouterId id_;
+    std::vector<InputUnit> inputs_;
+    std::vector<OutputUnit> outputs_;
+    std::vector<bool> nicPort_;
+    std::unique_ptr<SpinUnit> spin_;
+
+    /** Per-outport round-robin pointer over input ports (SA stage 2). */
+    std::vector<PortId> outRr_;
+
+    // Scratch buffers reused across cycles to avoid allocation churn.
+    mutable std::vector<PortId> scratchPorts_;
+    mutable std::vector<VcId> scratchVcs_;
+
+    /** Compute/refresh the route request of one head VC. */
+    void routeVc(PortId inport, VcId vcid);
+    /** True when @p outport has an idle VC @p pkt may acquire. */
+    bool hasIdleAllowedVc(const Packet &pkt, PortId outport) const;
+    /** Try to acquire a downstream VC for a routed head. */
+    void tryVcAllocation(PortId inport, VcId vcid);
+    /** True when (inport,vc) can send a flit right now. */
+    bool readyToSend(PortId inport, VcId vcid, Cycle now) const;
+    /** Move one flit out: pop, credits, link push, hooks. */
+    void sendFlit(PortId inport, VcId vcid);
+    /** Send one credit upstream for a flit popped from (inport, vc). */
+    void creditUpstream(PortId inport, VcId vcid, bool is_free);
+};
+
+} // namespace spin
+
+#endif // SPINNOC_ROUTER_ROUTER_HH

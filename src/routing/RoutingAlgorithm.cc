@@ -1,0 +1,126 @@
+#include "routing/RoutingAlgorithm.hh"
+
+#include <algorithm>
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+#include "router/Router.hh"
+
+namespace spin
+{
+
+void
+RoutingAlgorithm::attach(Network &net)
+{
+    net_ = &net;
+}
+
+void
+RoutingAlgorithm::sourceRoute(Packet &, RouterId)
+{
+}
+
+PortId
+RoutingAlgorithm::select(const Packet &pkt, const Router &r,
+                         const std::vector<PortId> &cands) const
+{
+    SPIN_ASSERT(!cands.empty(), "no route candidates at router ", r.id(),
+                " for ", pkt.toString());
+    if (cands.size() == 1)
+        return cands[0];
+
+    // FAvORS selection (paper Sec. V): a random candidate whose next hop
+    // has a free allowed VC; otherwise the candidate whose next-hop VC
+    // has been active for the fewest cycles.
+    const Cycle now = net_->now();
+    std::vector<VcId> allowed;
+    std::vector<PortId> free_cands;
+    PortId best = cands[0];
+    Cycle best_active = kNeverCycle;
+    for (const PortId c : cands) {
+        allowedVcs(pkt, r, c, allowed);
+        applyVcReservation(*net_, pkt, allowed);
+        const OutputUnit &out = r.output(c);
+        Cycle t_active = kNeverCycle;
+        for (const VcId v : allowed) {
+            if (out.isIdle(v)) {
+                t_active = 0;
+                break;
+            }
+            t_active = std::min(t_active, now - out.activeSince(v));
+        }
+        if (t_active == 0)
+            free_cands.push_back(c);
+        if (t_active < best_active) {
+            best_active = t_active;
+            best = c;
+        }
+    }
+    if (!free_cands.empty())
+        return free_cands[net_->rng().below(free_cands.size())];
+    return best;
+}
+
+void
+RoutingAlgorithm::allowedVcs(const Packet &pkt, const Router &,
+                             PortId, std::vector<VcId> &out) const
+{
+    out.clear();
+    const VcId base = vnetVcBase(pkt.vnet);
+    for (int i = 0; i < vcsPerVnet(); ++i)
+        out.push_back(base + i);
+}
+
+void
+RoutingAlgorithm::injectionVcs(const Packet &pkt, const Router &r,
+                               std::vector<VcId> &out) const
+{
+    allowedVcs(pkt, r, kInvalidId, out);
+}
+
+bool
+RoutingAlgorithm::admission(const Packet &, const Router &, PortId,
+                            PortId) const
+{
+    return true;
+}
+
+void
+RoutingAlgorithm::onHop(Packet &, const Router &, PortId) const
+{
+}
+
+void
+RoutingAlgorithm::onVcGranted(Packet &, const Router &, PortId, VcId) const
+{
+}
+
+VcId
+RoutingAlgorithm::vnetVcBase(VnetId vnet) const
+{
+    return vnet * net_->config().vcsPerVnet;
+}
+
+int
+RoutingAlgorithm::vcsPerVnet() const
+{
+    return net_->config().vcsPerVnet;
+}
+
+void
+applyVcReservation(const Network &net, const Packet &pkt,
+                   std::vector<VcId> &vcs)
+{
+    const NetworkConfig &cfg = net.config();
+    if (cfg.scheme != DeadlockScheme::StaticBubble)
+        return;
+    const int per = cfg.vcsPerVnet;
+    if (pkt.onEscape) {
+        // Recovery packets ride reserved VCs only.
+        std::erase_if(vcs, [per](VcId v) { return v % per != per - 1; });
+    } else {
+        std::erase_if(vcs, [per](VcId v) { return v % per == per - 1; });
+    }
+}
+
+} // namespace spin

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Routing algorithm interface.
+ *
+ * An algorithm answers three questions each cycle for a head packet at a
+ * router: which output ports are acceptable (candidates), which one to
+ * request right now (select, re-evaluated every cycle while blocked --
+ * this is what makes routing adaptive), and which downstream VCs the
+ * packet may acquire (allowedVcs -- this is where Dally-style VC
+ * orderings and Duato escape restrictions live). Algorithms that
+ * misroute (UGAL, FAvORS-NMin) additionally make a one-time decision at
+ * the source (sourceRoute).
+ */
+
+#ifndef SPINNOC_ROUTING_ROUTINGALGORITHM_HH
+#define SPINNOC_ROUTING_ROUTINGALGORITHM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/Packet.hh"
+#include "common/Types.hh"
+
+namespace spin
+{
+
+class Network;
+class Router;
+
+/** Base class; see file comment. Stateless per packet: all per-packet
+ *  state lives in the Packet record. */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /** Human-readable name (Table III row label). */
+    virtual std::string name() const = 0;
+
+    /** True when no legal minimal turn is ever prohibited. */
+    virtual bool fullyAdaptive() const { return false; }
+    /** True when the algorithm can misroute (needs livelock bound p). */
+    virtual bool nonMinimal() const { return false; }
+    /**
+     * True when the algorithm is deadlock-free by itself (avoidance);
+     * false when it relies on a recovery scheme such as SPIN.
+     */
+    virtual bool selfDeadlockFree() const { return false; }
+    /** Minimum VCs per vnet this algorithm needs to operate. */
+    virtual int minVcsPerVnet() const { return 1; }
+
+    /**
+     * Bind to a network. Called once by the Network constructor;
+     * validates topology metadata requirements.
+     */
+    virtual void attach(Network &net);
+
+    /**
+     * One-time decision at the source router when the packet reaches
+     * the head of its NIC queue (e.g. minimal-vs-Valiant).
+     */
+    virtual void sourceRoute(Packet &pkt, RouterId src);
+
+    /**
+     * Output ports @p pkt may take at router @p r this cycle, written
+     * into @p out (cleared first). Never includes the ejection port:
+     * the router ejects when destRouter == r. Must be non-empty.
+     *
+     * @param target the packet's current routing target (the
+     *        intermediate router during a misroute phase, otherwise the
+     *        destination router)
+     */
+    virtual void candidates(const Packet &pkt, const Router &r,
+                            RouterId target,
+                            std::vector<PortId> &out) const = 0;
+
+    /**
+     * Choose this cycle's requested port among @p cands.
+     * Default policy is the paper's FAvORS selection (Sec. V): prefer a
+     * random candidate whose next-hop has a free allowed VC, otherwise
+     * the candidate whose next-hop VC has been active the fewest cycles.
+     */
+    virtual PortId select(const Packet &pkt, const Router &r,
+                          const std::vector<PortId> &cands) const;
+
+    /**
+     * Downstream VC indices @p pkt may acquire when leaving @p r via
+     * @p outport, written into @p out (cleared first). Default: every
+     * VC of the packet's vnet.
+     */
+    virtual void allowedVcs(const Packet &pkt, const Router &r,
+                            PortId outport, std::vector<VcId> &out) const;
+
+    /** VCs a NIC may inject into at the source router's local port.
+     *  Default: same as allowedVcs toward the local in-port. */
+    virtual void injectionVcs(const Packet &pkt, const Router &r,
+                              std::vector<VcId> &out) const;
+
+    /**
+     * Admission check consulted before downstream-VC allocation; used
+     * by flow-control schemes (bubble flow control) to gate entry into
+     * a resource class. Default: always admit.
+     */
+    virtual bool admission(const Packet &pkt, const Router &r,
+                           PortId inport, PortId outport) const;
+
+    /** Hook: head flit committed to leave @p r via @p outport. */
+    virtual void onHop(Packet &pkt, const Router &r, PortId outport) const;
+
+    /** Hook: downstream VC granted (escape-network tracking). */
+    virtual void onVcGranted(Packet &pkt, const Router &r, PortId outport,
+                             VcId vc) const;
+
+  protected:
+    Network *net_ = nullptr;
+
+    /** First and last VC index of @p vnet given the attached config. */
+    VcId vnetVcBase(VnetId vnet) const;
+    int vcsPerVnet() const;
+};
+
+/**
+ * Remove VCs the deadlock scheme reserves (Static Bubble keeps the last
+ * VC of every vnet for recovery) from an allowed-VC list, unless the
+ * packet is already on the recovery network.
+ */
+void applyVcReservation(const Network &net, const Packet &pkt,
+                        std::vector<VcId> &vcs);
+
+} // namespace spin
+
+#endif // SPINNOC_ROUTING_ROUTINGALGORITHM_HH

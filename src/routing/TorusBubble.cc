@@ -1,0 +1,97 @@
+#include "routing/TorusBubble.hh"
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+#include "router/Router.hh"
+
+namespace spin
+{
+
+void
+TorusBubble::attach(Network &net)
+{
+    RoutingAlgorithm::attach(net);
+    if (!net.topo().mesh || !net.topo().mesh->wrap)
+        SPIN_FATAL("bubble flow control requires a torus");
+}
+
+int
+TorusBubble::wrapDelta(int from, int to, int k)
+{
+    int d = (to - from) % k;
+    if (d < 0)
+        d += k;
+    // Prefer the positive (E/N) direction on ties.
+    return d <= k / 2 ? d : d - k;
+}
+
+bool
+TorusBubble::isXPort(PortId port)
+{
+    return port == MeshInfo::kEast || port == MeshInfo::kWest;
+}
+
+void
+TorusBubble::candidates(const Packet &, const Router &r, RouterId target,
+                        std::vector<PortId> &out) const
+{
+    out.clear();
+    const MeshInfo &m = *net_->topo().mesh;
+    const int dx = wrapDelta(m.xOf(r.id()), m.xOf(target), m.sizeX);
+    const int dy = wrapDelta(m.yOf(r.id()), m.yOf(target), m.sizeY);
+    if (dx > 0)
+        out.push_back(MeshInfo::kEast);
+    else if (dx < 0)
+        out.push_back(MeshInfo::kWest);
+    else if (dy > 0)
+        out.push_back(MeshInfo::kNorth);
+    else if (dy < 0)
+        out.push_back(MeshInfo::kSouth);
+    SPIN_ASSERT(!out.empty(), "DOR requested at destination");
+}
+
+int
+TorusBubble::ringFreeVcs(const Router &r, PortId outport,
+                         VnetId vnet) const
+{
+    const MeshInfo &m = *net_->topo().mesh;
+    const VcId base = vnetVcBase(vnet);
+    // Count from the *upstream output units*: allocation state updates
+    // there the instant a VC is granted, so two admissions racing in
+    // the same cycle see each other's reservations (counting the
+    // downstream buffers instead lags by the link latency and lets
+    // simultaneous entries break the bubble).
+    const int x = m.xOf(r.id());
+    const int y = m.yOf(r.id());
+    int free_vcs = 0;
+    if (isXPort(outport)) {
+        for (int i = 0; i < m.sizeX; ++i) {
+            const Router &rr = net_->router(m.routerAt(i, y));
+            for (int v = 0; v < vcsPerVnet(); ++v)
+                free_vcs += rr.output(outport).isIdle(base + v);
+        }
+    } else {
+        for (int j = 0; j < m.sizeY; ++j) {
+            const Router &rr = net_->router(m.routerAt(x, j));
+            for (int v = 0; v < vcsPerVnet(); ++v)
+                free_vcs += rr.output(outport).isIdle(base + v);
+        }
+    }
+    return free_vcs;
+}
+
+bool
+TorusBubble::admission(const Packet &pkt, const Router &r, PortId inport,
+                       PortId outport) const
+{
+    // Movement within a ring is never restricted; only *entering* a
+    // ring (injection, or a dimension change) needs the bubble.
+    const bool entering = r.input(inport).fromNic() ||
+                          isXPort(inport) != isXPort(outport);
+    if (!entering)
+        return true;
+    // After we take one buffer, at least one must remain free.
+    return ringFreeVcs(r, outport, pkt.vnet) >= 2;
+}
+
+} // namespace spin

@@ -1,0 +1,110 @@
+#include "routing/Ugal.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+#include "router/Router.hh"
+
+namespace spin
+{
+
+void
+Ugal::attach(Network &net)
+{
+    RoutingAlgorithm::attach(net);
+    if (!net.topo().dragonfly)
+        SPIN_FATAL("UGAL routing requires a dragonfly topology");
+}
+
+int
+Ugal::minOccupancy(const Router &r, const std::vector<PortId> &ports) const
+{
+    int best = std::numeric_limits<int>::max();
+    for (const PortId p : ports)
+        best = std::min(best, r.output(p).occupancy());
+    return best == std::numeric_limits<int>::max() ? 0 : best;
+}
+
+void
+Ugal::sourceRoute(Packet &pkt, RouterId src)
+{
+    const Topology &topo = net_->topo();
+    const RouterId dst = pkt.destRouter;
+    if (src == dst)
+        return;
+
+    const Router &r = net_->router(src);
+    const int hmin = topo.distance(src, dst);
+    const int qmin = minOccupancy(r, topo.minimalPorts(src, dst));
+
+    // One random Valiant candidate: any other router (UGAL-L flavor
+    // with a single sampled detour).
+    RouterId inter = kInvalidId;
+    for (int tries = 0; tries < 8; ++tries) {
+        const RouterId cand =
+            static_cast<RouterId>(net_->rng().below(topo.numRouters()));
+        if (cand != src && cand != dst) {
+            inter = cand;
+            break;
+        }
+    }
+    if (inter == kInvalidId)
+        return;
+
+    const int hnm = topo.distance(src, inter) + topo.distance(inter, dst);
+    const int qnm = minOccupancy(r, topo.minimalPorts(src, inter));
+    if (qmin * hmin > qnm * hnm) {
+        pkt.intermediate = inter;
+        pkt.misroutes = 1;
+    }
+}
+
+void
+Ugal::candidates(const Packet &, const Router &r, RouterId target,
+                 std::vector<PortId> &out) const
+{
+    const auto &ports = net_->topo().minimalPorts(r.id(), target);
+    SPIN_ASSERT(!ports.empty(), "no minimal port");
+    out.assign(ports.begin(), ports.end());
+}
+
+void
+Ugal::allowedVcs(const Packet &pkt, const Router &, PortId,
+                 std::vector<VcId> &out) const
+{
+    out.clear();
+    const VcId base = vnetVcBase(pkt.vnet);
+    if (!vcOrdered_) {
+        for (int i = 0; i < vcsPerVnet(); ++i)
+            out.push_back(base + i);
+        return;
+    }
+    // Dally ordering: the VC class equals the global hops taken so far,
+    // which strictly increases around any potential cycle.
+    const int cls = std::min(pkt.globalHops, vcsPerVnet() - 1);
+    out.push_back(base + cls);
+}
+
+void
+Ugal::injectionVcs(const Packet &pkt, const Router &r,
+                   std::vector<VcId> &out) const
+{
+    if (!vcOrdered_) {
+        RoutingAlgorithm::injectionVcs(pkt, r, out);
+        return;
+    }
+    out.clear();
+    out.push_back(vnetVcBase(pkt.vnet)); // class 0 at injection
+}
+
+void
+Ugal::onHop(Packet &pkt, const Router &r, PortId outport) const
+{
+    const LinkSpec *l = net_->topo().outLink(r.id(), outport);
+    if (l && l->global)
+        ++pkt.globalHops;
+}
+
+} // namespace spin

@@ -1,0 +1,55 @@
+#include "routing/WestFirst.hh"
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+#include "router/Router.hh"
+
+namespace spin
+{
+
+PortId
+westFirstNextPort(const MeshInfo &m, RouterId cur, RouterId dest)
+{
+    const int dx = m.xOf(dest) - m.xOf(cur);
+    const int dy = m.yOf(dest) - m.yOf(cur);
+    if (dx < 0)
+        return MeshInfo::kWest;
+    if (dx > 0)
+        return MeshInfo::kEast;
+    if (dy > 0)
+        return MeshInfo::kNorth;
+    SPIN_ASSERT(dy < 0, "west-first next hop requested at destination");
+    return MeshInfo::kSouth;
+}
+
+void
+WestFirst::attach(Network &net)
+{
+    RoutingAlgorithm::attach(net);
+    if (!net.topo().mesh || net.topo().mesh->wrap)
+        SPIN_FATAL("west-first routing requires a (non-wrapping) mesh");
+}
+
+void
+WestFirst::candidates(const Packet &, const Router &r, RouterId target,
+                      std::vector<PortId> &out) const
+{
+    out.clear();
+    const MeshInfo &m = *net_->topo().mesh;
+    const int dx = m.xOf(target) - m.xOf(r.id());
+    const int dy = m.yOf(target) - m.yOf(r.id());
+    if (dx < 0) {
+        // All west hops must come first; no adaptivity here.
+        out.push_back(MeshInfo::kWest);
+        return;
+    }
+    if (dx > 0)
+        out.push_back(MeshInfo::kEast);
+    if (dy > 0)
+        out.push_back(MeshInfo::kNorth);
+    else if (dy < 0)
+        out.push_back(MeshInfo::kSouth);
+    SPIN_ASSERT(!out.empty(), "west-first requested at destination");
+}
+
+} // namespace spin

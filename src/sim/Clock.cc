@@ -1,0 +1,2 @@
+// Clock is header-only; this translation unit anchors the sim module.
+#include "sim/Clock.hh"

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Global simulation clock.
+ *
+ * The simulator is cycle-driven: Network::step() advances every component
+ * by one cycle in a fixed phase order (see network/Network.hh). The Clock
+ * is shared by reference so that all components observe the same time.
+ */
+
+#ifndef SPINNOC_SIM_CLOCK_HH
+#define SPINNOC_SIM_CLOCK_HH
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+/** Monotonic cycle counter shared by all components of one Network. */
+class Clock
+{
+  public:
+    Clock() = default;
+
+    /** Current cycle. */
+    Cycle now() const { return now_; }
+
+    /** Advance one cycle. */
+    void tick() { ++now_; }
+
+    /** Reset to cycle 0 (used by tests). */
+    void reset() { now_ = 0; }
+
+  private:
+    Cycle now_ = 0;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_SIM_CLOCK_HH

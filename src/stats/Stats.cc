@@ -1,0 +1,89 @@
+#include "stats/Stats.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace spin
+{
+
+void
+Stats::onEject(const Packet &pkt)
+{
+    ++packetsEjected;
+    flitsEjected += pkt.sizeFlits;
+    const std::uint64_t lat = pkt.latency();
+    latencySum += lat;
+    netLatencySum += pkt.networkLatency();
+    hopsSum += pkt.hops;
+    maxLatency = std::max(maxLatency, lat);
+    spinsOfEjected += pkt.spins;
+
+    const unsigned bucket = lat == 0
+        ? 0
+        : std::bit_width(lat);
+    if (latencyHist.size() <= bucket)
+        latencyHist.resize(bucket + 1, 0);
+    ++latencyHist[bucket];
+}
+
+void
+Stats::reset(Cycle now)
+{
+    *this = Stats();
+    windowStart = now;
+}
+
+double
+Stats::latencyPercentile(double p) const
+{
+    if (packetsEjected == 0 || latencyHist.empty())
+        return 0.0;
+    if (p <= 0.0)
+        p = 1e-9;
+    if (p > 1.0)
+        p = 1.0;
+    const double target = p * double(packetsEjected);
+    double seen = 0.0;
+    for (std::size_t b = 0; b < latencyHist.size(); ++b) {
+        const double in_bucket = double(latencyHist[b]);
+        if (seen + in_bucket >= target) {
+            // Bucket b holds latencies in [2^(b-1), 2^b); interpolate.
+            const double lo = b == 0 ? 0.0 : double(1ull << (b - 1));
+            const double hi = double(1ull << b);
+            const double frac =
+                in_bucket > 0 ? (target - seen) / in_bucket : 0.0;
+            return lo + frac * (hi - lo);
+        }
+        seen += in_bucket;
+    }
+    return double(maxLatency);
+}
+
+double
+Stats::avgLatency() const
+{
+    return packetsEjected ? double(latencySum) / packetsEjected : 0.0;
+}
+
+double
+Stats::avgNetLatency() const
+{
+    return packetsEjected ? double(netLatencySum) / packetsEjected : 0.0;
+}
+
+double
+Stats::avgHops() const
+{
+    return packetsEjected ? double(hopsSum) / packetsEjected : 0.0;
+}
+
+double
+Stats::throughput(int num_nodes, Cycle now) const
+{
+    const Cycle elapsed = now - windowStart;
+    if (elapsed == 0 || num_nodes == 0)
+        return 0.0;
+    return double(flitsEjected) / double(num_nodes) / double(elapsed);
+}
+
+} // namespace spin

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Statistics engine: traffic counters with warmup-reset semantics plus
+ * the SPIN event counters the paper's evaluation section reports
+ * (probes, moves, spins, false positives -- Fig. 8b and Fig. 9).
+ */
+
+#ifndef SPINNOC_STATS_STATS_HH
+#define SPINNOC_STATS_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/Packet.hh"
+#include "common/Types.hh"
+
+namespace spin
+{
+
+/** See file comment. All counters cover the current measurement window
+ *  (since the last reset()). */
+class Stats
+{
+  public:
+    /// @name Traffic
+    /// @{
+    std::uint64_t packetsCreated = 0;
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t flitsCreated = 0;
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t flitsEjected = 0;
+    std::uint64_t latencySum = 0;
+    std::uint64_t netLatencySum = 0;
+    std::uint64_t hopsSum = 0;
+    std::uint64_t maxLatency = 0;
+    std::uint64_t spinsOfEjected = 0;
+    /** log2-bucketed end-to-end latency histogram. */
+    std::vector<std::uint64_t> latencyHist;
+    /// @}
+
+    /// @name SPIN events
+    /// @{
+    std::uint64_t probesSent = 0;
+    std::uint64_t probesForked = 0;
+    std::uint64_t probesDropped = 0;
+    std::uint64_t probesReturned = 0;
+    /// @name Probe drop reasons (diagnostics)
+    /// @{
+    std::uint64_t probeDropPriority = 0;  //!< rotating-priority filter
+    std::uint64_t probeDropInactive = 0;  //!< a free VC at the in-port
+    std::uint64_t probeDropNoDep = 0;     //!< only ejection/no requests
+    std::uint64_t probeDropHops = 0;      //!< path cap exceeded
+    std::uint64_t probeDropStale = 0;     //!< own probe in wrong state
+    /// @}
+    std::uint64_t movesSent = 0;
+    std::uint64_t movesDropped = 0;
+    std::uint64_t movesReturned = 0;
+    std::uint64_t probeMovesSent = 0;
+    std::uint64_t probeMovesDropped = 0;
+    std::uint64_t probeMovesReturned = 0;
+    std::uint64_t killMovesSent = 0;
+    std::uint64_t smContentionDrops = 0;
+    /** Completed synchronized rotations (one per loop per rotation). */
+    std::uint64_t spins = 0;
+    /** Rotations counted as false positives (see DESIGN.md Sec. 1.3). */
+    std::uint64_t falsePositiveSpins = 0;
+    /** Transfers cancelled by the defensive safety fixpoint. */
+    std::uint64_t spinsCancelled = 0;
+    /** Packets moved one hop by rotations. */
+    std::uint64_t packetsRotated = 0;
+    /// @}
+
+    /// @name Baseline recovery events
+    /// @{
+    /** Static Bubble reserved-VC grants. */
+    std::uint64_t bubbleRecoveries = 0;
+    /// @}
+
+    /** Start of the current measurement window. */
+    Cycle windowStart = 0;
+
+    /** Record an ejected packet. */
+    void onEject(const Packet &pkt);
+
+    /** Zero every counter and open a new window at @p now. */
+    void reset(Cycle now);
+
+    /// @name Derived metrics
+    /// @{
+    /**
+     * Latency percentile estimated from the log2 histogram (exact
+     * bucket, geometric interpolation within it). p in (0, 1].
+     */
+    double latencyPercentile(double p) const;
+    double avgLatency() const;
+    double avgNetLatency() const;
+    double avgHops() const;
+    /** Received throughput in flits/node/cycle over the window. */
+    double throughput(int num_nodes, Cycle now) const;
+    /// @}
+};
+
+} // namespace spin
+
+#endif // SPINNOC_STATS_STATS_HH

@@ -1,0 +1,85 @@
+#include "topology/Dragonfly.hh"
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+Topology
+makeDragonfly(int p, int a, int h, int g,
+              Cycle local_latency, Cycle global_latency)
+{
+    if (p < 1 || a < 2 || h < 1)
+        SPIN_FATAL("dragonfly needs p >= 1, a >= 2, h >= 1");
+    const int g_max = a * h + 1;
+    if (g == 0)
+        g = g_max;
+    if (g < 2 || g > g_max)
+        SPIN_FATAL("dragonfly group count must be in [2, ", g_max,
+                   "], got ", g);
+
+    Topology t;
+    t.name = "dragonfly-p" + std::to_string(p) + "a" + std::to_string(a)
+        + "h" + std::to_string(h) + "g" + std::to_string(g);
+    DragonflyInfo info;
+    info.p = p;
+    info.a = a;
+    info.h = h;
+    info.g = g;
+    t.dragonfly = info;
+
+    const int n_routers = g * a;
+    t.setRouters(n_routers, (a - 1) + h + p);
+
+    // Intra-group: full connectivity. Router i's local port j reaches
+    // in-group router (j < i ? j : j + 1) so every router uses ports
+    // 0 .. a-2 and the wiring is symmetric (i's port toward k equals
+    // k-minus-skip index).
+    for (int grp = 0; grp < g; ++grp) {
+        for (int i = 0; i < a; ++i) {
+            for (int k = i + 1; k < a; ++k) {
+                const RouterId ri = info.routerOf(grp, i);
+                const RouterId rk = info.routerOf(grp, k);
+                const PortId pi = info.localPortBase() + (k - 1);
+                const PortId pk = info.localPortBase() + i;
+                t.addBiLink(ri, pi, rk, pk, local_latency, false);
+            }
+        }
+    }
+
+    // Inter-group: channel k of group G (router G*a + k/h, global port
+    // k%h) connects to group T = (k < G ? k : k + 1). Only wire when
+    // G < T to add each cable once; skip channels to nonexistent groups.
+    for (int grp = 0; grp < g; ++grp) {
+        for (int k = 0; k < a * h; ++k) {
+            const int target = (k < grp) ? k : k + 1;
+            if (target >= g || target <= grp)
+                continue;
+            // Reverse channel index inside the target group.
+            const int k_back = (grp < target) ? grp : grp - 1;
+            const RouterId rs = info.routerOf(grp, k / h);
+            const RouterId rd = info.routerOf(target, k_back / h);
+            const PortId ps = info.globalPortBase() + (k % h);
+            const PortId pd = info.globalPortBase() + (k_back % h);
+            t.addBiLink(rs, ps, rd, pd, global_latency, true);
+        }
+    }
+
+    // Terminals.
+    NodeId node = 0;
+    for (RouterId r = 0; r < n_routers; ++r) {
+        for (int term = 0; term < p; ++term)
+            t.attachNic(node++, r, info.terminalPortBase() + term);
+    }
+
+    t.finalize();
+    return t;
+}
+
+Topology
+makePaperDragonfly()
+{
+    return makeDragonfly(4, 8, 4, 32, 1, 3);
+}
+
+} // namespace spin

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Dragonfly topology generator (Kim et al., ISCA 2008), the paper's
+ * off-chip 1024-node configuration: p terminals per router, a routers per
+ * group (fully connected locally), h global channels per router, g groups.
+ */
+
+#ifndef SPINNOC_TOPOLOGY_DRAGONFLY_HH
+#define SPINNOC_TOPOLOGY_DRAGONFLY_HH
+
+#include "topology/Topology.hh"
+
+namespace spin
+{
+
+/**
+ * Build a dragonfly.
+ *
+ * Global channel arrangement: group G owns a*h outgoing global channels
+ * numbered k = 0 .. a*h-1 (router G*a + k/h, its (k%h)-th global port);
+ * channel k of group G connects to group (k < G ? k : k + 1), i.e. the
+ * consecutive arrangement. With g < a*h + 1 the trailing channels are
+ * left unwired (the paper's 1024-node network uses g = 32 of the 33
+ * possible groups).
+ *
+ * @param p terminals per router (paper: 4)
+ * @param a routers per group (paper: 8, the "group size")
+ * @param h global channels per router (paper: 4)
+ * @param g number of groups; 0 selects the maximum a*h + 1
+ * @param local_latency intra-group link latency (paper: 1)
+ * @param global_latency inter-group link latency (paper: 3)
+ */
+Topology makeDragonfly(int p, int a, int h, int g = 0,
+                       Cycle local_latency = 1, Cycle global_latency = 3);
+
+/** The paper's 1024-node instance: p=4, a=8, h=4, g=32. */
+Topology makePaperDragonfly();
+
+} // namespace spin
+
+#endif // SPINNOC_TOPOLOGY_DRAGONFLY_HH

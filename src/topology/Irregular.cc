@@ -1,0 +1,218 @@
+#include "topology/Irregular.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+namespace
+{
+
+/** Undirected edge with canonical ordering. */
+using Edge = std::pair<RouterId, RouterId>;
+
+Edge
+canon(RouterId a, RouterId b)
+{
+    return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+/** Connectivity check over an undirected edge list. */
+bool
+connected(int n, const std::vector<Edge> &edges)
+{
+    std::vector<std::vector<int>> adj(n);
+    for (const auto &[a, b] : edges) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    std::vector<char> seen(n, 0);
+    std::deque<int> q{0};
+    seen[0] = 1;
+    int count = 1;
+    while (!q.empty()) {
+        const int u = q.front();
+        q.pop_front();
+        for (const int v : adj[u]) {
+            if (!seen[v]) {
+                seen[v] = 1;
+                ++count;
+                q.push_back(v);
+            }
+        }
+    }
+    return count == n;
+}
+
+/** All undirected mesh edges of an X x Y grid. */
+std::vector<Edge>
+meshEdges(int size_x, int size_y)
+{
+    std::vector<Edge> edges;
+    for (int y = 0; y < size_y; ++y) {
+        for (int x = 0; x < size_x; ++x) {
+            const RouterId r = y * size_x + x;
+            if (x + 1 < size_x)
+                edges.push_back(canon(r, r + 1));
+            if (y + 1 < size_y)
+                edges.push_back(canon(r, r + size_x));
+        }
+    }
+    return edges;
+}
+
+Topology
+buildMeshWithEdges(int size_x, int size_y, const std::vector<Edge> &edges,
+                   Cycle link_latency, const std::string &name)
+{
+    Topology t;
+    t.name = name;
+    // No mesh metadata on purpose: structure-aware routing must not run.
+    t.setRouters(size_x * size_y, 5);
+    for (const auto &[a, b] : edges) {
+        if (b == a + 1) { // east-west
+            t.addBiLink(a, MeshInfo::kEast, b, MeshInfo::kWest,
+                        link_latency);
+        } else {          // north-south (b == a + size_x)
+            t.addBiLink(a, MeshInfo::kNorth, b, MeshInfo::kSouth,
+                        link_latency);
+        }
+    }
+    for (RouterId r = 0; r < size_x * size_y; ++r)
+        t.attachNic(r, r, MeshInfo::kLocal);
+    t.finalize();
+    return t;
+}
+
+} // namespace
+
+Topology
+makeFaultyMesh(int size_x, int size_y,
+               const std::vector<std::pair<RouterId, RouterId>> &dead_links,
+               Cycle link_latency)
+{
+    if (size_x < 2 || size_y < 2)
+        SPIN_FATAL("faulty mesh needs size_x, size_y >= 2");
+
+    std::vector<Edge> edges = meshEdges(size_x, size_y);
+    for (const auto &[a, b] : dead_links) {
+        const Edge e = canon(a, b);
+        const bool adjacent =
+            (e.second == e.first + 1 && e.first % size_x != size_x - 1) ||
+            e.second == e.first + size_x;
+        if (!adjacent)
+            SPIN_FATAL("routers ", a, " and ", b, " are not mesh neighbors");
+        auto it = std::find(edges.begin(), edges.end(), e);
+        if (it == edges.end())
+            SPIN_FATAL("link ", a, "-", b, " removed twice");
+        edges.erase(it);
+    }
+    if (!connected(size_x * size_y, edges))
+        SPIN_FATAL("fault set disconnects the mesh");
+
+    return buildMeshWithEdges(size_x, size_y, edges, link_latency,
+                              std::to_string(size_x) + "x"
+                              + std::to_string(size_y) + "-faulty-mesh");
+}
+
+Topology
+makeRandomFaultyMesh(int size_x, int size_y, int n_faults, Random &rng,
+                     Cycle link_latency)
+{
+    if (size_x < 2 || size_y < 2)
+        SPIN_FATAL("faulty mesh needs size_x, size_y >= 2");
+
+    std::vector<Edge> edges = meshEdges(size_x, size_y);
+    if (n_faults < 0 || n_faults >= static_cast<int>(edges.size()))
+        SPIN_FATAL("cannot remove ", n_faults, " of ", edges.size(),
+                   " links");
+
+    const int n = size_x * size_y;
+    int removed = 0;
+    int attempts = 0;
+    while (removed < n_faults) {
+        if (++attempts > 10000)
+            SPIN_FATAL("could not find a connected fault set");
+        const std::size_t i = rng.below(edges.size());
+        std::vector<Edge> trial = edges;
+        trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+        if (connected(n, trial)) {
+            edges = std::move(trial);
+            ++removed;
+        }
+    }
+
+    return buildMeshWithEdges(size_x, size_y, edges, link_latency,
+                              std::to_string(size_x) + "x"
+                              + std::to_string(size_y) + "-rand-faulty-mesh");
+}
+
+Topology
+makeRandomRegular(int n, int degree, Random &rng, Cycle link_latency)
+{
+    if (n < 3 || degree < 2)
+        SPIN_FATAL("random regular graph needs n >= 3, degree >= 2");
+    if (n * degree % 2 != 0)
+        SPIN_FATAL("n * degree must be even");
+    if (degree >= n)
+        SPIN_FATAL("degree must be < n for a simple graph");
+
+    // Pairing model: stubs = n*degree half-edges; shuffle and pair;
+    // retry until simple (no self loops / multi-edges) and connected.
+    std::vector<Edge> edges;
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+        std::vector<RouterId> stubs;
+        stubs.reserve(static_cast<std::size_t>(n) * degree);
+        for (RouterId r = 0; r < n; ++r) {
+            for (int d = 0; d < degree; ++d)
+                stubs.push_back(r);
+        }
+        // Fisher-Yates shuffle.
+        for (std::size_t i = stubs.size(); i > 1; --i)
+            std::swap(stubs[i - 1], stubs[rng.below(i)]);
+
+        std::set<Edge> used;
+        bool ok = true;
+        for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+            const RouterId a = stubs[i];
+            const RouterId b = stubs[i + 1];
+            if (a == b || used.count(canon(a, b)))
+                ok = false;
+            else
+                used.insert(canon(a, b));
+        }
+        if (!ok)
+            continue;
+        std::vector<Edge> trial(used.begin(), used.end());
+        if (!connected(n, trial)) {
+            continue;
+        }
+        edges = std::move(trial);
+        break;
+    }
+    if (edges.empty())
+        SPIN_FATAL("failed to build a connected random regular graph");
+
+    Topology t;
+    t.name = "rrg-n" + std::to_string(n) + "d" + std::to_string(degree);
+    t.setRouters(n, degree + 1); // +1 local port
+
+    // Assign ports in order of appearance per router.
+    std::vector<PortId> next_port(n, 0);
+    for (const auto &[a, b] : edges) {
+        const PortId pa = next_port[a]++;
+        const PortId pb = next_port[b]++;
+        t.addBiLink(a, pa, b, pb, link_latency);
+    }
+    for (RouterId r = 0; r < n; ++r)
+        t.attachNic(r, r, degree);
+    t.finalize();
+    return t;
+}
+
+} // namespace spin

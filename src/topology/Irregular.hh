@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Irregular topology generators.
+ *
+ * The paper motivates SPIN for exactly these networks: random-graph
+ * datacenter fabrics (Jellyfish), meshes with faulty or power-gated links,
+ * and application-specific NoCs, where designing an acyclic CDG or escape
+ * network at design time is hard. SPIN works on them unmodified.
+ */
+
+#ifndef SPINNOC_TOPOLOGY_IRREGULAR_HH
+#define SPINNOC_TOPOLOGY_IRREGULAR_HH
+
+#include <vector>
+
+#include "common/Random.hh"
+#include "topology/Topology.hh"
+
+namespace spin
+{
+
+/**
+ * Build a mesh with a set of bidirectional links removed (faulty /
+ * power-gated). The mesh metadata is dropped so that structure-aware
+ * routing refuses to run on it; use table-driven minimal adaptive
+ * routing (+SPIN) instead.
+ *
+ * @param size_x,size_y mesh dimensions
+ * @param dead_links pairs of adjacent routers whose connecting
+ *                   bidirectional link is removed
+ * @throws FatalError when removal disconnects the network or a pair is
+ *         not adjacent
+ */
+Topology makeFaultyMesh(int size_x, int size_y,
+                        const std::vector<std::pair<RouterId, RouterId>>
+                            &dead_links,
+                        Cycle link_latency = 1);
+
+/**
+ * Remove @p n_faults random links from a mesh while keeping it
+ * connected (rejection sampling with the supplied RNG).
+ */
+Topology makeRandomFaultyMesh(int size_x, int size_y, int n_faults,
+                              Random &rng, Cycle link_latency = 1);
+
+/**
+ * Jellyfish-style random regular graph: n routers, degree network links
+ * each, one NIC per router. Built by repeated random matchings until the
+ * graph is connected and simple.
+ *
+ * @param n routers (n * degree must be even)
+ * @param degree network ports per router
+ */
+Topology makeRandomRegular(int n, int degree, Random &rng,
+                           Cycle link_latency = 1);
+
+} // namespace spin
+
+#endif // SPINNOC_TOPOLOGY_IRREGULAR_HH

@@ -1,0 +1,45 @@
+#include "topology/Mesh.hh"
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+Topology
+makeMesh(int size_x, int size_y, Cycle link_latency)
+{
+    if (size_x < 2 || size_y < 1)
+        SPIN_FATAL("mesh needs size_x >= 2, size_y >= 1");
+
+    Topology t;
+    t.name = std::to_string(size_x) + "x" + std::to_string(size_y) + "-mesh";
+    MeshInfo info;
+    info.sizeX = size_x;
+    info.sizeY = size_y;
+    info.wrap = false;
+    t.mesh = info;
+
+    t.setRouters(size_x * size_y, 5);
+    for (int y = 0; y < size_y; ++y) {
+        for (int x = 0; x < size_x; ++x) {
+            const RouterId r = info.routerAt(x, y);
+            if (x + 1 < size_x) {
+                t.addBiLink(r, MeshInfo::kEast,
+                            info.routerAt(x + 1, y), MeshInfo::kWest,
+                            link_latency);
+            }
+            if (y + 1 < size_y) {
+                // North is +y.
+                t.addBiLink(r, MeshInfo::kNorth,
+                            info.routerAt(x, y + 1), MeshInfo::kSouth,
+                            link_latency);
+            }
+        }
+    }
+    for (RouterId r = 0; r < size_x * size_y; ++r)
+        t.attachNic(r, r, MeshInfo::kLocal);
+    t.finalize();
+    return t;
+}
+
+} // namespace spin

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * 2-D mesh topology generator (the paper's on-chip 8x8 configuration).
+ */
+
+#ifndef SPINNOC_TOPOLOGY_MESH_HH
+#define SPINNOC_TOPOLOGY_MESH_HH
+
+#include "topology/Topology.hh"
+
+namespace spin
+{
+
+/**
+ * Build an X x Y mesh with one NIC per router and 5 ports per router
+ * (E, W, N, S, Local). Border out-ports toward nonexistent neighbors are
+ * left unwired.
+ *
+ * @param size_x columns
+ * @param size_y rows
+ * @param link_latency per-hop link latency in cycles (paper: 1)
+ */
+Topology makeMesh(int size_x, int size_y, Cycle link_latency = 1);
+
+} // namespace spin
+
+#endif // SPINNOC_TOPOLOGY_MESH_HH

@@ -1,0 +1,35 @@
+#include "topology/Ring.hh"
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+Topology
+makeRing(int n, Cycle link_latency)
+{
+    if (n < 3)
+        SPIN_FATAL("ring needs n >= 3");
+
+    Topology t;
+    t.name = std::to_string(n) + "-ring";
+    RingInfo info;
+    info.n = n;
+    t.ring = info;
+
+    t.setRouters(n, 3);
+    for (RouterId r = 0; r < n; ++r) {
+        const RouterId next = (r + 1) % n;
+        // r's clockwise out-port feeds next's counter-clockwise in-port.
+        t.addLink(LinkSpec{r, RingInfo::kCw, next, RingInfo::kCcw,
+                           link_latency, false});
+        t.addLink(LinkSpec{next, RingInfo::kCcw, r, RingInfo::kCw,
+                           link_latency, false});
+    }
+    for (RouterId r = 0; r < n; ++r)
+        t.attachNic(r, r, RingInfo::kLocal);
+    t.finalize();
+    return t;
+}
+
+} // namespace spin

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Unidirectional-capable ring topology generator. The smallest topology
+ * exhibiting routing deadlock; used heavily by the SPIN unit tests and by
+ * the walkthrough example (Fig. 2 / Fig. 4 of the paper).
+ */
+
+#ifndef SPINNOC_TOPOLOGY_RING_HH
+#define SPINNOC_TOPOLOGY_RING_HH
+
+#include "topology/Topology.hh"
+
+namespace spin
+{
+
+/**
+ * Build an N-router bidirectional ring with one NIC per router.
+ * Ports: 0 = clockwise (+1), 1 = counter-clockwise (-1), 2 = local.
+ */
+Topology makeRing(int n, Cycle link_latency = 1);
+
+} // namespace spin
+
+#endif // SPINNOC_TOPOLOGY_RING_HH

@@ -1,0 +1,229 @@
+#include "topology/Topology.hh"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+void
+Topology::setRouters(int n, int ports)
+{
+    SPIN_ASSERT(n > 0 && ports > 0, "bad router spec");
+    radix_.assign(n, ports);
+}
+
+void
+Topology::setRouters(const std::vector<int> &ports_per_router)
+{
+    SPIN_ASSERT(!ports_per_router.empty(), "no routers");
+    radix_ = ports_per_router;
+}
+
+void
+Topology::addLink(const LinkSpec &l)
+{
+    SPIN_ASSERT(!finalized_, "topology already finalized");
+    SPIN_ASSERT(l.src >= 0 && l.src < numRouters(), "bad src router");
+    SPIN_ASSERT(l.dst >= 0 && l.dst < numRouters(), "bad dst router");
+    SPIN_ASSERT(l.srcPort >= 0 && l.srcPort < radix_[l.src], "bad src port");
+    SPIN_ASSERT(l.dstPort >= 0 && l.dstPort < radix_[l.dst], "bad dst port");
+    SPIN_ASSERT(l.latency >= 1, "link latency must be >= 1");
+    links_.push_back(l);
+}
+
+void
+Topology::addBiLink(RouterId a, PortId pa, RouterId b, PortId pb,
+                    Cycle latency, bool global)
+{
+    addLink(LinkSpec{a, pa, b, pb, latency, global});
+    addLink(LinkSpec{b, pb, a, pa, latency, global});
+}
+
+void
+Topology::attachNic(NodeId node, RouterId router, PortId port)
+{
+    SPIN_ASSERT(!finalized_, "topology already finalized");
+    SPIN_ASSERT(node == static_cast<NodeId>(nics_.size()),
+                "NICs must be attached in node-id order");
+    nics_.push_back(NicAttach{node, router, port});
+}
+
+void
+Topology::finalize()
+{
+    SPIN_ASSERT(!finalized_, "finalize() called twice");
+    const int n = numRouters();
+
+    outLinkIdx_.assign(n, {});
+    inLinkIdx_.assign(n, {});
+    for (int r = 0; r < n; ++r) {
+        outLinkIdx_[r].assign(radix_[r], -1);
+        inLinkIdx_[r].assign(radix_[r], -1);
+    }
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const LinkSpec &l = links_[i];
+        if (outLinkIdx_[l.src][l.srcPort] != -1) {
+            SPIN_FATAL("router ", l.src, " out-port ", l.srcPort,
+                       " wired twice");
+        }
+        if (inLinkIdx_[l.dst][l.dstPort] != -1) {
+            SPIN_FATAL("router ", l.dst, " in-port ", l.dstPort,
+                       " wired twice");
+        }
+        outLinkIdx_[l.src][l.srcPort] = static_cast<std::int32_t>(i);
+        inLinkIdx_[l.dst][l.dstPort] = static_cast<std::int32_t>(i);
+    }
+
+    nodesAt_.assign(n, {});
+    for (const NicAttach &a : nics_) {
+        if (a.router < 0 || a.router >= n)
+            SPIN_FATAL("NIC ", a.node, " attached to bad router ", a.router);
+        if (a.port < 0 || a.port >= radix_[a.router])
+            SPIN_FATAL("NIC ", a.node, " attached to bad port ", a.port);
+        if (outLinkIdx_[a.router][a.port] != -1 ||
+            inLinkIdx_[a.router][a.port] != -1) {
+            SPIN_FATAL("NIC ", a.node, " port collides with a link at "
+                       "router ", a.router, " port ", a.port);
+        }
+        nodesAt_[a.router].push_back(a.node);
+    }
+
+    // BFS from every source router over the router graph (hop metric);
+    // also a latency-weighted Dijkstra for zero-load latency estimates.
+    dist_.assign(n, std::vector<std::int16_t>(n, -1));
+    latDist_.assign(n, std::vector<std::int32_t>(n, -1));
+    minPorts_.assign(n, std::vector<std::vector<PortId>>(n));
+
+    // adjacency: per router list of (port, dst, latency)
+    struct Edge { PortId port; RouterId dst; Cycle lat; };
+    std::vector<std::vector<Edge>> adj(n);
+    for (const LinkSpec &l : links_)
+        adj[l.src].push_back(Edge{l.srcPort, l.dst, l.latency});
+
+    for (int s = 0; s < n; ++s) {
+        auto &dist = dist_[s];
+        dist[s] = 0;
+        std::deque<int> q{s};
+        while (!q.empty()) {
+            const int u = q.front();
+            q.pop_front();
+            for (const Edge &e : adj[u]) {
+                if (dist[e.dst] < 0) {
+                    dist[e.dst] = static_cast<std::int16_t>(dist[u] + 1);
+                    q.push_back(e.dst);
+                }
+            }
+        }
+        for (int t = 0; t < n; ++t) {
+            if (dist[t] < 0) {
+                SPIN_FATAL("router graph not strongly connected: no path ",
+                           s, " -> ", t);
+            }
+        }
+        // minimal next-hop ports: port p of s is minimal toward t iff
+        // dist(neighbor(p), t) == dist(s, t) - 1... computed below after
+        // all dist rows exist.
+    }
+
+    for (int s = 0; s < n; ++s) {
+        for (const Edge &e : adj[s]) {
+            for (int t = 0; t < n; ++t) {
+                if (t != s && dist_[e.dst][t] == dist_[s][t] - 1)
+                    minPorts_[s][t].push_back(e.port);
+            }
+        }
+        for (int t = 0; t < n; ++t)
+            std::sort(minPorts_[s][t].begin(), minPorts_[s][t].end());
+    }
+
+    // Latency-weighted shortest path (Dijkstra, small graphs).
+    for (int s = 0; s < n; ++s) {
+        auto &ld = latDist_[s];
+        using Item = std::pair<std::int32_t, int>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+        ld[s] = 0;
+        pq.emplace(0, s);
+        while (!pq.empty()) {
+            auto [d, u] = pq.top();
+            pq.pop();
+            if (d > ld[u])
+                continue;
+            for (const Edge &e : adj[u]) {
+                const std::int32_t nd = d + static_cast<std::int32_t>(e.lat);
+                if (ld[e.dst] < 0 || nd < ld[e.dst]) {
+                    ld[e.dst] = nd;
+                    pq.emplace(nd, e.dst);
+                }
+            }
+        }
+    }
+
+    finalized_ = true;
+}
+
+void
+Topology::checkFinalized() const
+{
+    SPIN_ASSERT(finalized_, "topology not finalized");
+}
+
+const LinkSpec *
+Topology::outLink(RouterId r, PortId port) const
+{
+    checkFinalized();
+    const std::int32_t i = outLinkIdx_[r][port];
+    return i < 0 ? nullptr : &links_[i];
+}
+
+const LinkSpec *
+Topology::inLink(RouterId r, PortId port) const
+{
+    checkFinalized();
+    const std::int32_t i = inLinkIdx_[r][port];
+    return i < 0 ? nullptr : &links_[i];
+}
+
+bool
+Topology::isNicPort(RouterId r, PortId port) const
+{
+    checkFinalized();
+    for (const NodeId n : nodesAt_[r]) {
+        if (nics_[n].port == port)
+            return true;
+    }
+    return false;
+}
+
+const std::vector<NodeId> &
+Topology::nodesAt(RouterId r) const
+{
+    checkFinalized();
+    return nodesAt_[r];
+}
+
+int
+Topology::distance(RouterId from, RouterId to) const
+{
+    checkFinalized();
+    return dist_[from][to];
+}
+
+const std::vector<PortId> &
+Topology::minimalPorts(RouterId from, RouterId to) const
+{
+    checkFinalized();
+    return minPorts_[from][to];
+}
+
+Cycle
+Topology::latencyDistance(RouterId from, RouterId to) const
+{
+    checkFinalized();
+    return static_cast<Cycle>(latDist_[from][to]);
+}
+
+} // namespace spin

@@ -1,0 +1,41 @@
+#include "topology/Torus.hh"
+
+#include "common/Logging.hh"
+
+namespace spin
+{
+
+Topology
+makeTorus(int size_x, int size_y, Cycle link_latency)
+{
+    if (size_x < 3 || size_y < 3)
+        SPIN_FATAL("torus needs size_x, size_y >= 3 (distinct neighbors)");
+
+    Topology t;
+    t.name = std::to_string(size_x) + "x" + std::to_string(size_y)
+        + "-torus";
+    MeshInfo info;
+    info.sizeX = size_x;
+    info.sizeY = size_y;
+    info.wrap = true;
+    t.mesh = info;
+
+    t.setRouters(size_x * size_y, 5);
+    for (int y = 0; y < size_y; ++y) {
+        for (int x = 0; x < size_x; ++x) {
+            const RouterId r = info.routerAt(x, y);
+            t.addBiLink(r, MeshInfo::kEast,
+                        info.routerAt((x + 1) % size_x, y), MeshInfo::kWest,
+                        link_latency);
+            t.addBiLink(r, MeshInfo::kNorth,
+                        info.routerAt(x, (y + 1) % size_y), MeshInfo::kSouth,
+                        link_latency);
+        }
+    }
+    for (RouterId r = 0; r < size_x * size_y; ++r)
+        t.attachNic(r, r, MeshInfo::kLocal);
+    t.finalize();
+    return t;
+}
+
+} // namespace spin

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * 2-D torus topology generator (wrap-around mesh).
+ */
+
+#ifndef SPINNOC_TOPOLOGY_TORUS_HH
+#define SPINNOC_TOPOLOGY_TORUS_HH
+
+#include "topology/Topology.hh"
+
+namespace spin
+{
+
+/**
+ * Build an X x Y torus with one NIC per router. Same port layout as the
+ * mesh; the wrap links make every dimension a ring, so minimal routing
+ * alone carries cyclic channel dependencies -- a classic SPIN use case.
+ */
+Topology makeTorus(int size_x, int size_y, Cycle link_latency = 1);
+
+} // namespace spin
+
+#endif // SPINNOC_TOPOLOGY_TORUS_HH

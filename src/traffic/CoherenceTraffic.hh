@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Coherence-protocol-style request/response traffic over 3 virtual
+ * networks: the PARSEC substitute for Fig. 8(a) (see DESIGN.md).
+ *
+ * Each node issues 1-flit GetX requests (vnet 0) to a home node drawn
+ * from a pattern; the home "directory" answers with a 5-flit data
+ * response (vnet 2) after a fixed service delay. Request rates are
+ * derived from the paper's observation that real applications load the
+ * NoC at roughly a tenth of deadlock-onset rates.
+ */
+
+#ifndef SPINNOC_TRAFFIC_COHERENCETRAFFIC_HH
+#define SPINNOC_TRAFFIC_COHERENCETRAFFIC_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/Random.hh"
+#include "common/Types.hh"
+#include "traffic/TrafficPattern.hh"
+
+namespace spin
+{
+
+class Network;
+
+/** An application profile driving the generator (PARSEC substitute). */
+struct AppProfile
+{
+    std::string name;
+    /** Request rate in requests/node/cycle. */
+    double requestRate = 0.005;
+    /** Cycles the directory takes to answer. */
+    Cycle serviceDelay = 20;
+    /** Sharing pattern for home-node selection. */
+    Pattern pattern = Pattern::UniformRandom;
+};
+
+/** The eight profiles used by the Fig. 8(a) harness. */
+std::vector<AppProfile> parsecLikeProfiles();
+
+/** See file comment. Call tick() once per cycle before Network::step. */
+class CoherenceTraffic
+{
+  public:
+    CoherenceTraffic(Network &net, const AppProfile &profile,
+                     std::uint64_t seed = 11);
+
+    void tick();
+
+    std::uint64_t requestsIssued() const { return requestsIssued_; }
+    std::uint64_t responsesReceived() const { return responsesReceived_; }
+
+  private:
+    Network &net_;
+    AppProfile profile_;
+    TrafficPattern pattern_;
+    Random rng_;
+    /** (due cycle, responder, requester) queue, FIFO by due cycle. */
+    std::deque<std::tuple<Cycle, NodeId, NodeId>> pending_;
+    std::uint64_t requestsIssued_ = 0;
+    std::uint64_t responsesReceived_ = 0;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_TRAFFIC_COHERENCETRAFFIC_HH

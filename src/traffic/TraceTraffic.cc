@@ -1,0 +1,77 @@
+#include "traffic/TraceTraffic.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+
+namespace spin
+{
+
+std::vector<TraceRecord>
+readTrace(std::istream &in)
+{
+    std::vector<TraceRecord> trace;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        TraceRecord rec;
+        long long cyc;
+        if (!(ls >> cyc))
+            continue; // blank / comment-only line
+        if (cyc < 0 || !(ls >> rec.src >> rec.dst >> rec.vnet >>
+                         rec.sizeFlits)) {
+            SPIN_FATAL("trace line ", line_no, ": malformed record");
+        }
+        rec.cycle = static_cast<Cycle>(cyc);
+        if (!trace.empty() && rec.cycle < trace.back().cycle)
+            SPIN_FATAL("trace line ", line_no, ": cycles not sorted");
+        if (rec.sizeFlits < 1)
+            SPIN_FATAL("trace line ", line_no, ": bad packet size");
+        trace.push_back(rec);
+    }
+    return trace;
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        SPIN_FATAL("cannot open trace file ", path);
+    return readTrace(in);
+}
+
+TraceTraffic::TraceTraffic(Network &net, std::vector<TraceRecord> trace)
+    : net_(net), trace_(std::move(trace))
+{
+    for (const TraceRecord &r : trace_) {
+        if (r.src < 0 || r.src >= net.numNodes() || r.dst < 0 ||
+            r.dst >= net.numNodes()) {
+            SPIN_FATAL("trace node ids out of range for this topology");
+        }
+        if (r.vnet < 0 || r.vnet >= net.config().vnets)
+            SPIN_FATAL("trace vnet out of range");
+        if (r.sizeFlits > net.config().maxPacketSize)
+            SPIN_FATAL("trace packet larger than maxPacketSize");
+    }
+}
+
+void
+TraceTraffic::tick()
+{
+    const Cycle now = net_.now();
+    while (next_ < trace_.size() && trace_[next_].cycle <= now) {
+        const TraceRecord &r = trace_[next_++];
+        net_.offerPacket(net_.makePacket(r.src, r.dst, r.vnet,
+                                         r.sizeFlits));
+    }
+}
+
+} // namespace spin

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace-driven traffic: replays a packet trace captured from a real
+ * workload (or written by hand for a directed experiment). One line
+ * per packet:
+ *
+ *   <cycle> <src> <dst> <vnet> <size_flits>     # '#' starts a comment
+ *
+ * Lines must be sorted by cycle. Replay is cycle-exact: a packet is
+ * offered to its source NIC in the stated cycle (actual injection then
+ * follows normal VC arbitration).
+ */
+
+#ifndef SPINNOC_TRAFFIC_TRACETRAFFIC_HH
+#define SPINNOC_TRAFFIC_TRACETRAFFIC_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+class Network;
+
+/** One trace record. */
+struct TraceRecord
+{
+    Cycle cycle = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    VnetId vnet = 0;
+    int sizeFlits = 1;
+};
+
+/** Parse a trace from a stream. @throws FatalError on malformed input
+ *  or unsorted cycles. */
+std::vector<TraceRecord> readTrace(std::istream &in);
+
+/** Parse a trace file. @throws FatalError when unreadable. */
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+/** See file comment. Call tick() once per cycle before Network::step. */
+class TraceTraffic
+{
+  public:
+    TraceTraffic(Network &net, std::vector<TraceRecord> trace);
+
+    /** Offer every packet due this cycle. */
+    void tick();
+
+    /** True when the whole trace has been offered. */
+    bool done() const { return next_ >= trace_.size(); }
+    std::size_t offered() const { return next_; }
+
+  private:
+    Network &net_;
+    std::vector<TraceRecord> trace_;
+    std::size_t next_ = 0;
+};
+
+} // namespace spin
+
+#endif // SPINNOC_TRAFFIC_TRACETRAFFIC_HH

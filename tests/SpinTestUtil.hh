@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the SPIN test suites: a clockwise-only ring
+ * routing algorithm that deterministically manufactures a classic
+ * 4-packet ring deadlock, and small network factories.
+ */
+
+#ifndef SPINNOC_TESTS_SPINTESTUTIL_HH
+#define SPINNOC_TESTS_SPINTESTUTIL_HH
+
+#include <memory>
+
+#include "common/Config.hh"
+#include "network/Network.hh"
+#include "network/NetworkBuilder.hh"
+#include "routing/RoutingAlgorithm.hh"
+#include "topology/Ring.hh"
+
+namespace spin
+{
+
+/**
+ * Always routes clockwise on a ring. Every hop is minimal when the
+ * destination is at most n/2 away clockwise -- which is how the tests
+ * use it -- yet the channel dependency graph is a cycle, so filling
+ * the ring deadlocks deterministically.
+ */
+class ClockwiseRing : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "cw-ring"; }
+    void
+    candidates(const Packet &, const Router &, RouterId,
+               std::vector<PortId> &out) const override
+    {
+        out.clear();
+        out.push_back(RingInfo::kCw);
+    }
+};
+
+/** Build an n-router ring network with the given scheme and VC count. */
+inline std::unique_ptr<Network>
+ringNetwork(int n, DeadlockScheme scheme, int vcs_per_vnet = 1,
+            Cycle t_dd = 32)
+{
+    auto topo = std::make_shared<Topology>(makeRing(n));
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = vcs_per_vnet;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = scheme;
+    cfg.tDd = t_dd;
+    return std::make_unique<Network>(topo, cfg,
+                                     std::make_unique<ClockwiseRing>());
+}
+
+/**
+ * Inject the canonical deadlock workload: every node sends one 5-flit
+ * packet two hops clockwise. With one VC the four packets block each
+ * other in a cycle of length n.
+ */
+inline void
+injectRingDeadlock(Network &net)
+{
+    const int n = net.numNodes();
+    for (NodeId i = 0; i < n; ++i)
+        net.offerPacket(net.makePacket(i, (i + 2) % n, 0, 5));
+}
+
+/** Step the network until in-flight drops to zero or @p max cycles. */
+inline Cycle
+drain(Network &net, Cycle max)
+{
+    const Cycle start = net.now();
+    while (net.packetsInFlight() > 0 && net.now() - start < max)
+        net.step();
+    return net.now() - start;
+}
+
+} // namespace spin
+
+#endif // SPINNOC_TESTS_SPINTESTUTIL_HH

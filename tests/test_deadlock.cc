@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests: the oracle wait-for-graph detector and the Static Bubble
+ * recovery baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deadlock/OracleDetector.hh"
+#include "deadlock/StaticBubble.hh"
+#include "tests/SpinTestUtil.hh"
+#include "topology/Mesh.hh"
+#include "traffic/SyntheticInjector.hh"
+
+namespace spin
+{
+namespace
+{
+
+TEST(Oracle, CleanNetworkHasNoDeadlock)
+{
+    auto net = ringNetwork(4, DeadlockScheme::None);
+    OracleDetector oracle(*net);
+    EXPECT_FALSE(oracle.detect().deadlocked);
+    net->run(50);
+    EXPECT_FALSE(oracle.detect().deadlocked);
+}
+
+TEST(Oracle, DetectsConstructedCycleExactly)
+{
+    auto net = ringNetwork(4, DeadlockScheme::None);
+    injectRingDeadlock(*net);
+    net->run(200);
+    const DeadlockReport rep = OracleDetector(*net).detect();
+    ASSERT_TRUE(rep.deadlocked);
+    ASSERT_EQ(rep.members.size(), 4u);
+    // Exactly one member per router, all at the clockwise in-port.
+    std::set<RouterId> routers;
+    for (const auto &m : rep.members) {
+        routers.insert(m.router);
+        EXPECT_EQ(m.inport, RingInfo::kCcw);
+        EXPECT_EQ(m.vc, 0);
+    }
+    EXPECT_EQ(routers.size(), 4u);
+}
+
+TEST(Oracle, CongestionIsNotDeadlock)
+{
+    // Hotspot: many packets to one node; heavy blocking, no cycle.
+    auto net = ringNetwork(8, DeadlockScheme::None);
+    for (int wave = 0; wave < 4; ++wave) {
+        for (NodeId s = 0; s < 4; ++s)
+            net->offerPacket(net->makePacket(s, 5, 0, 5));
+    }
+    bool ever = false;
+    for (int i = 0; i < 500; ++i) {
+        net->step();
+        ever |= OracleDetector(*net).detect().deadlocked;
+    }
+    EXPECT_FALSE(ever);
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+}
+
+TEST(Oracle, ChainBehindDeadlockIsIncluded)
+{
+    // Packets blocked *behind* a cycle cannot progress either; the
+    // oracle reports them as deadlocked members too.
+    auto net = ringNetwork(6, DeadlockScheme::None);
+    for (NodeId i = 0; i < 6; ++i)
+        net->offerPacket(net->makePacket(i, (i + 2) % 6, 0, 5));
+    // An extra victim packet that will queue behind the cycle.
+    net->run(300);
+    const auto rep = OracleDetector(*net).detect();
+    ASSERT_TRUE(rep.deadlocked);
+    EXPECT_GE(rep.members.size(), 6u);
+}
+
+TEST(Oracle, FrozenVcsCountAsProgressing)
+{
+    auto net = ringNetwork(4, DeadlockScheme::Spin, 1, 16);
+    injectRingDeadlock(*net);
+    // Run until freezing happened but the spin has not executed.
+    bool saw_committed_clean = false;
+    for (int i = 0; i < 2000 && net->packetsInFlight(); ++i) {
+        net->step();
+        bool any_frozen = false;
+        for (RouterId r = 0; r < 4; ++r) {
+            for (VcId v = 0; v < 1; ++v) {
+                if (net->router(r).input(RingInfo::kCcw).vc(v).frozen)
+                    any_frozen = true;
+            }
+        }
+        if (any_frozen &&
+            !OracleDetector(*net).detect().deadlocked) {
+            saw_committed_clean = true;
+        }
+    }
+    // Once the whole loop froze, the oracle no longer reports it.
+    EXPECT_TRUE(saw_committed_clean);
+}
+
+NetworkConfig
+bubbleCfg(int vcs)
+{
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = vcs;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::StaticBubble;
+    cfg.bubbleTimeout = 64;
+    return cfg;
+}
+
+TEST(StaticBubbleTest, ReservedVcUnusedInNormalOperation)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(4, 4));
+    auto net = buildNetwork(topo, bubbleCfg(2),
+                            RoutingKind::MinimalAdaptive);
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.05; // light: no recovery should trigger
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+    for (int i = 0; i < 3000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    EXPECT_EQ(net->stats().bubbleRecoveries, 0u);
+    // Reserved VC (index 1) never became active at any transit port.
+    for (RouterId r = 0; r < 16; ++r) {
+        for (PortId p = 0; p < 4; ++p)
+            EXPECT_FALSE(net->router(r).input(p).vc(1).active());
+    }
+}
+
+TEST(StaticBubbleTest, RecoversSaturatedAdaptiveMesh)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(4, 4));
+    auto net = buildNetwork(topo, bubbleCfg(2),
+                            RoutingKind::MinimalAdaptive);
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.5;
+    SyntheticInjector inj(*net, Pattern::Transpose, icfg);
+    for (int i = 0; i < 4000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    for (int i = 0; i < 30000 && net->packetsInFlight(); ++i)
+        net->step();
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+    EXPECT_FALSE(OracleDetector(*net).detect().deadlocked);
+}
+
+TEST(StaticBubbleTest, RecoveryActuallyTriggersOnDeadlock)
+{
+    // Adaptive 2-VC mesh at saturation deadlocks; recovery events must
+    // be observed (unlike the light-load case above).
+    auto topo = std::make_shared<Topology>(makeMesh(4, 4));
+    auto net = buildNetwork(topo, bubbleCfg(2),
+                            RoutingKind::MinimalAdaptive);
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.6;
+    icfg.seed = 17;
+    SyntheticInjector inj(*net, Pattern::BitReverse, icfg);
+    for (int i = 0; i < 6000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    EXPECT_GT(net->stats().bubbleRecoveries, 0u);
+}
+
+TEST(StaticBubbleTest, ConfigRequiresTwoVcs)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(4, 4));
+    EXPECT_THROW(buildNetwork(topo, bubbleCfg(1),
+                              RoutingKind::MinimalAdaptive),
+                 FatalError);
+}
+
+} // namespace
+} // namespace spin

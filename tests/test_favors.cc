@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests: the FAvORS routing algorithm (paper Sec. V) -- selection
+ * rule, source decision between minimal and Valiant, livelock bound,
+ * and end-to-end behavior with one VC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/Favors.hh"
+#include "network/NetworkBuilder.hh"
+#include "topology/Dragonfly.hh"
+#include "topology/Mesh.hh"
+#include "traffic/SyntheticInjector.hh"
+
+namespace spin
+{
+namespace
+{
+
+NetworkConfig
+favorsCfg(std::uint64_t seed = 1)
+{
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = 1;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::Spin;
+    cfg.tDd = 64;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(FavorsMin, IsOneVcCapable)
+{
+    FavorsMinimal f;
+    EXPECT_EQ(f.minVcsPerVnet(), 1);
+    EXPECT_TRUE(f.fullyAdaptive());
+    EXPECT_FALSE(f.nonMinimal());
+    EXPECT_FALSE(f.selfDeadlockFree()); // SPIN provides freedom
+}
+
+TEST(FavorsMin, SelectsFreeVcCandidate)
+{
+    // On an idle mesh every candidate has a free VC: the selection must
+    // return one of the minimal candidates (randomized).
+    auto topo = std::make_shared<Topology>(makeMesh(4, 4));
+    auto net = buildNetwork(topo, favorsCfg(), RoutingKind::FavorsMin);
+    Packet pkt;
+    pkt.vnet = 0;
+    pkt.destRouter = 15;
+    std::vector<PortId> cands{MeshInfo::kEast, MeshInfo::kNorth};
+    std::set<PortId> picked;
+    for (int i = 0; i < 64; ++i)
+        picked.insert(net->routing().select(pkt, net->router(0), cands));
+    // Randomized over both free candidates.
+    EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(FavorsMin, PacketsStayMinimalWithoutSpins)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(5, 5));
+    auto net = buildNetwork(topo, favorsCfg(3), RoutingKind::FavorsMin);
+    std::vector<PacketPtr> pkts;
+    for (NodeId s = 0; s < 25; s += 3) {
+        auto p = net->makePacket(s, 24 - s, 0, 5);
+        pkts.push_back(p);
+        net->offerPacket(p);
+    }
+    net->run(800);
+    for (const auto &p : pkts) {
+        ASSERT_NE(p->ejectCycle, kNeverCycle);
+        if (p->spins == 0 && p->src != p->dest) {
+            EXPECT_EQ(p->hops,
+                      topo->distance(topo->routerOfNode(p->src),
+                                     topo->routerOfNode(p->dest)));
+        }
+    }
+}
+
+TEST(FavorsNMin, MisroutesAtMostOnce)
+{
+    // The livelock bound p = 1: the source decides once; the packet
+    // visits at most one intermediate.
+    auto topo = std::make_shared<Topology>(makeDragonfly(2, 4, 2, 0));
+    auto net = buildNetwork(topo, favorsCfg(5), RoutingKind::FavorsNMin);
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.35;
+    icfg.seed = 5;
+    SyntheticInjector inj(*net, Pattern::Tornado, icfg);
+    int max_misroutes = 0;
+    net->setEjectListener([&](const PacketPtr &p) {
+        max_misroutes = std::max(max_misroutes, p->misroutes);
+    });
+    for (int i = 0; i < 4000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    EXPECT_LE(max_misroutes, 1);
+}
+
+TEST(FavorsNMin, LightLoadGoesMinimal)
+{
+    auto topo = std::make_shared<Topology>(makeDragonfly(2, 4, 2, 0));
+    auto net = buildNetwork(topo, favorsCfg(7), RoutingKind::FavorsNMin);
+    // Single packet on an idle network: free VCs everywhere -> minimal.
+    auto p = net->makePacket(0, 70, 0, 5);
+    net->offerPacket(p);
+    net->run(200);
+    ASSERT_NE(p->ejectCycle, kNeverCycle);
+    EXPECT_EQ(p->intermediate, kInvalidId);
+    EXPECT_EQ(p->hops, topo->distance(topo->routerOfNode(0),
+                                      topo->routerOfNode(70)));
+}
+
+TEST(FavorsNMin, AdversarialLoadTriggersDetours)
+{
+    auto topo = std::make_shared<Topology>(makeDragonfly(2, 4, 2, 0));
+    auto net = buildNetwork(topo, favorsCfg(9), RoutingKind::FavorsNMin);
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.5;
+    icfg.seed = 9;
+    SyntheticInjector inj(*net, Pattern::Tornado, icfg);
+    std::uint64_t detours = 0, total = 0;
+    net->setEjectListener([&](const PacketPtr &p) {
+        ++total;
+        detours += p->intermediate != kInvalidId;
+    });
+    for (int i = 0; i < 5000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_GT(detours, 0u);
+}
+
+TEST(FavorsNMin, PhaseTwoFlipsAtIntermediate)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(4, 4));
+    auto net = buildNetwork(topo, favorsCfg(11), RoutingKind::FavorsNMin);
+    auto p = net->makePacket(0, 15, 0, 1);
+    p->sourceRouted = true; // bypass the source decision
+    p->intermediate = 12;   // force a detour via the north-west corner
+    p->misroutes = 1;
+    net->offerPacket(p);
+    net->run(200);
+    ASSERT_NE(p->ejectCycle, kNeverCycle);
+    EXPECT_TRUE(p->phaseTwo);
+    // 0 -> 12 (3 hops) + 12 -> 15 (3 hops).
+    EXPECT_EQ(p->hops, 6);
+}
+
+TEST(FavorsNames, TableIiiLabels)
+{
+    FavorsMinimal fmin;
+    FavorsNonMinimal fnmin;
+    EXPECT_EQ(fmin.name(), "favors-min");
+    EXPECT_EQ(fnmin.name(), "favors-nmin");
+    EXPECT_TRUE(fnmin.nonMinimal());
+}
+
+} // namespace
+} // namespace spin

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests: topology serialization round-trips, trace parsing and
+ * cycle-exact replay, latency percentile estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "network/NetworkBuilder.hh"
+#include "topology/Mesh.hh"
+#include "topology/Ring.hh"
+#include "topology/TopologyIo.hh"
+#include "traffic/TraceTraffic.hh"
+
+namespace spin
+{
+namespace
+{
+
+TEST(TopologyIo, RoundTripsMesh)
+{
+    const Topology orig = makeMesh(4, 4);
+    std::stringstream ss;
+    writeTopology(orig, ss);
+    const Topology back = readTopology(ss);
+    EXPECT_EQ(back.numRouters(), orig.numRouters());
+    EXPECT_EQ(back.numNodes(), orig.numNodes());
+    EXPECT_EQ(back.links().size(), orig.links().size());
+    for (RouterId a = 0; a < orig.numRouters(); ++a) {
+        for (RouterId b = 0; b < orig.numRouters(); ++b)
+            EXPECT_EQ(back.distance(a, b), orig.distance(a, b));
+    }
+}
+
+TEST(TopologyIo, ParsesHandWrittenGraph)
+{
+    std::stringstream ss(R"(
+# a triangle with one NIC per router
+routers 3 3
+bilink 0 0 1 0 1
+bilink 1 1 2 0 2
+bilink 2 1 0 1 1
+nic 0 0 2
+nic 1 1 2
+nic 2 2 2
+)");
+    const Topology t = readTopology(ss);
+    EXPECT_EQ(t.numRouters(), 3);
+    EXPECT_EQ(t.distance(0, 2), 1);
+    const LinkSpec *l = t.outLink(1, 1);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->latency, 2u);
+}
+
+TEST(TopologyIo, LoadedTopologyRunsTraffic)
+{
+    const Topology orig = makeRing(6);
+    std::stringstream ss;
+    writeTopology(orig, ss);
+    auto topo = std::make_shared<Topology>(readTopology(ss));
+    NetworkConfig cfg;
+    cfg.scheme = DeadlockScheme::Spin;
+    auto net = buildNetwork(topo, cfg, RoutingKind::MinimalAdaptive);
+    net->offerPacket(net->makePacket(0, 3, 0, 5));
+    net->run(100);
+    EXPECT_EQ(net->stats().packetsEjected, 1u);
+}
+
+TEST(TopologyIo, RejectsGarbage)
+{
+    std::stringstream a("links before routers\n");
+    EXPECT_THROW(readTopology(a), FatalError);
+    std::stringstream b("routers 2 2\nfrobnicate 1 2 3\n");
+    EXPECT_THROW(readTopology(b), FatalError);
+    std::stringstream c("routers 2 2\nnic 1 0 1\n"); // out of order
+    EXPECT_THROW(readTopology(c), FatalError);
+}
+
+TEST(TraceTrafficTest, ParsesAndValidates)
+{
+    std::stringstream ss(R"(
+# cycle src dst vnet size
+0   0  5  0  1
+3   1  4  0  5
+3   2  3  0  1
+10  0  1  0  5
+)");
+    const auto trace = readTrace(ss);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[1].cycle, 3u);
+    EXPECT_EQ(trace[1].sizeFlits, 5);
+
+    std::stringstream bad("5 0 1 0 1\n3 0 1 0 1\n"); // unsorted
+    EXPECT_THROW(readTrace(bad), FatalError);
+}
+
+TEST(TraceTrafficTest, CycleExactReplay)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(3, 3));
+    NetworkConfig cfg;
+    cfg.scheme = DeadlockScheme::None;
+    auto net = buildNetwork(topo, cfg, RoutingKind::XyDor);
+    std::vector<TraceRecord> trace{
+        {0, 0, 8, 0, 1},
+        {5, 1, 7, 0, 5},
+        {5, 2, 6, 0, 1},
+    };
+    TraceTraffic replay(*net, trace);
+    for (int i = 0; i < 100; ++i) {
+        replay.tick();
+        net->step();
+    }
+    EXPECT_TRUE(replay.done());
+    EXPECT_EQ(net->stats().packetsEjected, 3u);
+    EXPECT_EQ(net->stats().packetsCreated, 3u);
+}
+
+TEST(TraceTrafficTest, RejectsOutOfRangeNodes)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(3, 3));
+    NetworkConfig cfg;
+    auto net = buildNetwork(topo, cfg, RoutingKind::XyDor);
+    std::vector<TraceRecord> trace{{0, 0, 99, 0, 1}};
+    EXPECT_THROW(TraceTraffic(*net, trace), FatalError);
+}
+
+TEST(StatsPercentiles, HistogramEstimates)
+{
+    Stats st;
+    // 100 packets at latency 10, 10 at latency 100, 1 at 1000.
+    for (int i = 0; i < 100; ++i) {
+        Packet p;
+        p.createCycle = 0;
+        p.injectCycle = 0;
+        p.ejectCycle = 10;
+        st.onEject(p);
+    }
+    for (int i = 0; i < 10; ++i) {
+        Packet p;
+        p.createCycle = 0;
+        p.injectCycle = 0;
+        p.ejectCycle = 100;
+        st.onEject(p);
+    }
+    Packet p;
+    p.createCycle = 0;
+    p.injectCycle = 0;
+    p.ejectCycle = 1000;
+    st.onEject(p);
+
+    const double p50 = st.latencyPercentile(0.50);
+    EXPECT_GE(p50, 8.0);
+    EXPECT_LE(p50, 16.0);
+    const double p99 = st.latencyPercentile(0.99);
+    EXPECT_GE(p99, 64.0);
+    EXPECT_LE(p99, 128.0);
+    EXPECT_GE(st.latencyPercentile(1.0), 512.0);
+    EXPECT_EQ(Stats().latencyPercentile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace spin

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Integration tests: the datapath end to end -- injection, VC
+ * allocation, switch allocation, link traversal, credits, ejection --
+ * on small networks, without any deadlock machinery in the way.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/NetworkBuilder.hh"
+#include "topology/Mesh.hh"
+#include "topology/Ring.hh"
+#include "traffic/SyntheticInjector.hh"
+
+namespace spin
+{
+namespace
+{
+
+NetworkConfig
+plainCfg(int vnets = 1, int vcs = 3)
+{
+    NetworkConfig cfg;
+    cfg.vnets = vnets;
+    cfg.vcsPerVnet = vcs;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::None;
+    return cfg;
+}
+
+std::unique_ptr<Network>
+smallMesh(RoutingKind kind = RoutingKind::XyDor, int vnets = 1,
+          int vcs = 3)
+{
+    auto topo = std::make_shared<Topology>(makeMesh(4, 4));
+    return buildNetwork(topo, plainCfg(vnets, vcs), kind);
+}
+
+TEST(Datapath, SinglePacketDelivery)
+{
+    auto net = smallMesh();
+    auto pkt = net->makePacket(0, 15, 0, 5);
+    net->offerPacket(pkt);
+    net->run(100);
+    EXPECT_EQ(net->stats().packetsEjected, 1u);
+    EXPECT_EQ(net->stats().flitsEjected, 5u);
+    EXPECT_NE(pkt->ejectCycle, kNeverCycle);
+    EXPECT_EQ(pkt->hops, 6); // Manhattan distance on a 4x4 corner pair
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+}
+
+TEST(Datapath, SelfDelivery)
+{
+    auto net = smallMesh();
+    auto pkt = net->makePacket(3, 3, 0, 1);
+    net->offerPacket(pkt);
+    net->run(20);
+    EXPECT_EQ(net->stats().packetsEjected, 1u);
+    EXPECT_EQ(pkt->hops, 0);
+}
+
+TEST(Datapath, ZeroLoadLatencyMatchesPipelineModel)
+{
+    auto net = smallMesh();
+    auto pkt = net->makePacket(0, 1, 0, 1); // one hop east
+    net->offerPacket(pkt);
+    net->run(50);
+    ASSERT_EQ(net->stats().packetsEjected, 1u);
+    // inject wire (1) + router (1) + link (1) + router (1) + eject
+    // wire (1) = 5 cycles from NIC send to NIC receive; plus the
+    // injection decision cycle itself.
+    EXPECT_LE(pkt->latency(), 7u);
+    EXPECT_GE(pkt->latency(), 5u);
+}
+
+TEST(Datapath, MultiFlitPacketStaysContiguousPerVc)
+{
+    auto net = smallMesh();
+    // Two packets from the same source to the same destination.
+    net->offerPacket(net->makePacket(0, 12, 0, 5));
+    net->offerPacket(net->makePacket(0, 12, 0, 5));
+    net->run(200);
+    EXPECT_EQ(net->stats().packetsEjected, 2u);
+    EXPECT_EQ(net->stats().flitsEjected, 10u);
+}
+
+TEST(Datapath, ManyToOneEjectsEverything)
+{
+    auto net = smallMesh();
+    for (NodeId src = 0; src < 16; ++src) {
+        if (src != 5)
+            net->offerPacket(net->makePacket(src, 5, 0, 5));
+    }
+    net->run(600);
+    EXPECT_EQ(net->stats().packetsEjected, 15u);
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+}
+
+TEST(Datapath, VnetsDoNotMix)
+{
+    auto net = smallMesh(RoutingKind::XyDor, 3, 1);
+    net->offerPacket(net->makePacket(0, 15, 0, 1));
+    net->offerPacket(net->makePacket(0, 15, 2, 5));
+    net->run(100);
+    EXPECT_EQ(net->stats().packetsEjected, 2u);
+}
+
+TEST(Datapath, UniformRandomLoadAllDelivered)
+{
+    auto net = smallMesh();
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.10;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+    for (int i = 0; i < 2000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    // Drain.
+    for (int i = 0; i < 3000 && net->packetsInFlight() > 0; ++i)
+        net->step();
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+    EXPECT_EQ(net->stats().packetsEjected, net->stats().packetsCreated);
+    EXPECT_GT(net->stats().packetsEjected, 500u);
+}
+
+TEST(Datapath, LatencyGrowsWithLoad)
+{
+    double lat_low = 0, lat_mid = 0;
+    for (const double rate : {0.02, 0.30}) {
+        auto net = smallMesh(RoutingKind::XyDor);
+        InjectorConfig icfg;
+        icfg.injectionRate = rate;
+        SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+        for (int i = 0; i < 1000; ++i) {
+            inj.tick();
+            net->step();
+        }
+        net->beginMeasurement();
+        for (int i = 0; i < 2000; ++i) {
+            inj.tick();
+            net->step();
+        }
+        (rate < 0.1 ? lat_low : lat_mid) = net->stats().avgLatency();
+    }
+    EXPECT_GT(lat_mid, lat_low);
+}
+
+TEST(Datapath, CreditsNeverOverflow)
+{
+    // The OutputUnit asserts credit invariants internally; a saturated
+    // run on a tiny ring exercises them hard.
+    auto topo = std::make_shared<Topology>(makeRing(4));
+    auto net = buildNetwork(topo, plainCfg(1, 2),
+                            RoutingKind::MinimalAdaptive);
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.8;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+    for (int i = 0; i < 2000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    SUCCEED(); // no assertion fired
+}
+
+TEST(Datapath, ThroughputTracksInjectionBelowSaturation)
+{
+    auto net = smallMesh();
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.10;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+    for (int i = 0; i < 1000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    net->beginMeasurement();
+    for (int i = 0; i < 4000; ++i) {
+        inj.tick();
+        net->step();
+    }
+    const double thr = net->stats().throughput(16, net->now());
+    EXPECT_NEAR(thr, 0.10, 0.02);
+}
+
+TEST(Datapath, LinkUsageAccounting)
+{
+    auto net = smallMesh();
+    net->beginMeasurement();
+    net->offerPacket(net->makePacket(0, 3, 0, 5)); // 3 hops east
+    net->run(60);
+    const LinkUsage u = net->linkUsage();
+    // 5 flits x 3 router-to-router links.
+    EXPECT_EQ(u.flitCycles, 15u);
+    EXPECT_EQ(u.probeCycles, 0u);
+    EXPECT_EQ(u.totalCycles, 60u * net->numLinks());
+    EXPECT_EQ(u.idleCycles, u.totalCycles - 15u);
+}
+
+TEST(Datapath, EjectListenerFires)
+{
+    auto net = smallMesh();
+    int seen = 0;
+    net->setEjectListener([&](const PacketPtr &) { ++seen; });
+    net->offerPacket(net->makePacket(0, 9, 0, 1));
+    net->offerPacket(net->makePacket(4, 2, 0, 5));
+    net->run(100);
+    EXPECT_EQ(seen, 2);
+}
+
+TEST(Datapath, HopsCountRouterTraversals)
+{
+    auto net = smallMesh();
+    auto pkt = net->makePacket(0, 5, 0, 1); // (0,0) -> (1,1): 2 hops
+    net->offerPacket(pkt);
+    net->run(60);
+    EXPECT_EQ(pkt->hops, 2);
+}
+
+} // namespace
+} // namespace spin

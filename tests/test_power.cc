@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests: the analytical area/power model, validated against the
+ * relative numbers the paper reports (Sec. VI-C/D and Fig. 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/AreaPowerModel.hh"
+
+namespace spin
+{
+namespace
+{
+
+RouterDesign
+meshRouter(int vcs_per_vnet, SchemeExtras extras = SchemeExtras::None)
+{
+    RouterDesign d;
+    d.radix = 5;
+    d.vnets = 3;
+    d.vcsPerVnet = vcs_per_vnet;
+    d.vcDepthFlits = 5;
+    d.flitBits = 128;
+    d.numRouters = 64;
+    d.extras = extras;
+    return d;
+}
+
+RouterDesign
+dflyRouter(int vcs_per_vnet, SchemeExtras extras = SchemeExtras::None)
+{
+    RouterDesign d;
+    d.radix = 15; // 7 local + 4 global + 4 terminals
+    d.vnets = 3;
+    d.vcsPerVnet = vcs_per_vnet;
+    d.vcDepthFlits = 5;
+    d.flitBits = 128;
+    d.numRouters = 256;
+    d.extras = extras;
+    return d;
+}
+
+TEST(AreaPower, MonotoneInVcs)
+{
+    const auto a1 = AreaPowerModel::evaluate(meshRouter(1));
+    const auto a2 = AreaPowerModel::evaluate(meshRouter(2));
+    const auto a3 = AreaPowerModel::evaluate(meshRouter(3));
+    EXPECT_LT(a1.areaUm2, a2.areaUm2);
+    EXPECT_LT(a2.areaUm2, a3.areaUm2);
+    EXPECT_LT(a1.powerMw, a3.powerMw);
+}
+
+TEST(AreaPower, MeshOneVcVsThreeVcMatchesPaper)
+{
+    // Paper Sec. VI-D: the 1-VC mesh router is ~52% lower area and
+    // ~50% lower power than the 3-VC router. Accept the claim within
+    // a band (this is a calibrated analytical model).
+    const auto a1 = AreaPowerModel::evaluate(meshRouter(1));
+    const auto a3 = AreaPowerModel::evaluate(meshRouter(3));
+    const double area_red = 1.0 - a1.areaUm2 / a3.areaUm2;
+    const double power_red = 1.0 - a1.powerMw / a3.powerMw;
+    EXPECT_NEAR(area_red, 0.52, 0.08);
+    EXPECT_NEAR(power_red, 0.50, 0.10);
+}
+
+TEST(AreaPower, DragonflyOneVcVsThreeVcMatchesPaper)
+{
+    // Paper Sec. VI-C: ~53% lower area, ~55% lower power.
+    const auto a1 = AreaPowerModel::evaluate(dflyRouter(1));
+    const auto a3 = AreaPowerModel::evaluate(dflyRouter(3));
+    const double area_red = 1.0 - a1.areaUm2 / a3.areaUm2;
+    const double power_red = 1.0 - a1.powerMw / a3.powerMw;
+    EXPECT_NEAR(area_red, 0.53, 0.10);
+    EXPECT_NEAR(power_red, 0.55, 0.12);
+}
+
+TEST(AreaPower, SpinOverheadSmall)
+{
+    // Fig. 10: SPIN adds ~4% over the plain west-first router.
+    const auto base = AreaPowerModel::evaluate(meshRouter(1));
+    const auto with_spin =
+        AreaPowerModel::evaluate(meshRouter(1, SchemeExtras::Spin));
+    const double overhead = with_spin.areaUm2 / base.areaUm2 - 1.0;
+    EXPECT_GT(overhead, 0.005);
+    EXPECT_LT(overhead, 0.08);
+}
+
+TEST(AreaPower, OverheadOrderingMatchesFig10)
+{
+    // Fig. 10 ordering: west-first < SPIN < static bubble << escape-VC.
+    const auto base = AreaPowerModel::evaluate(meshRouter(1));
+    const auto spin =
+        AreaPowerModel::evaluate(meshRouter(1, SchemeExtras::Spin));
+    const auto bubble =
+        AreaPowerModel::evaluate(meshRouter(1,
+                                            SchemeExtras::StaticBubble));
+    const auto escape =
+        AreaPowerModel::evaluate(meshRouter(1, SchemeExtras::EscapeVc));
+    EXPECT_LT(base.areaUm2, spin.areaUm2);
+    EXPECT_LT(spin.areaUm2, bubble.areaUm2);
+    EXPECT_LT(bubble.areaUm2, escape.areaUm2);
+}
+
+TEST(AreaPower, EscapeVcAddsOneVcPerVnet)
+{
+    const RouterDesign d = meshRouter(2, SchemeExtras::EscapeVc);
+    EXPECT_EQ(AreaPowerModel::effectiveVcs(d), 3 * 2 + 3);
+}
+
+TEST(AreaPower, LoopBufferScalesWithNetworkSize)
+{
+    RouterDesign small = meshRouter(1, SchemeExtras::Spin);
+    RouterDesign big = small;
+    big.numRouters = 1024;
+    EXPECT_LT(AreaPowerModel::evaluate(small).areaUm2,
+              AreaPowerModel::evaluate(big).areaUm2);
+}
+
+TEST(AreaPower, BreakdownMentionsDimensions)
+{
+    const std::string s = AreaPowerModel::breakdown(meshRouter(3));
+    EXPECT_NE(s.find("radix=5"), std::string::npos);
+    EXPECT_NE(s.find("128b"), std::string::npos);
+}
+
+TEST(AreaPower, RejectsDegenerateDesign)
+{
+    RouterDesign d;
+    d.radix = 1;
+    EXPECT_DEATH(AreaPowerModel::evaluate(d), "bad router design");
+}
+
+} // namespace
+} // namespace spin

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests: topology substrate (mesh, torus, ring, dragonfly,
+ * irregular generators and the derived routing tables).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/Logging.hh"
+#include "topology/Dragonfly.hh"
+#include "topology/Irregular.hh"
+#include "topology/Mesh.hh"
+#include "topology/Ring.hh"
+#include "topology/Torus.hh"
+
+namespace spin
+{
+namespace
+{
+
+TEST(Mesh, Dimensions)
+{
+    const Topology t = makeMesh(8, 8);
+    EXPECT_EQ(t.numRouters(), 64);
+    EXPECT_EQ(t.numNodes(), 64);
+    ASSERT_TRUE(t.mesh.has_value());
+    EXPECT_EQ(t.mesh->sizeX, 8);
+    EXPECT_FALSE(t.mesh->wrap);
+    // 2 * (2 * 8 * 7) directed channels.
+    EXPECT_EQ(static_cast<int>(t.links().size()), 224);
+}
+
+TEST(Mesh, BorderPortsUnwired)
+{
+    const Topology t = makeMesh(4, 4);
+    EXPECT_EQ(t.outLink(0, MeshInfo::kWest), nullptr);
+    EXPECT_EQ(t.outLink(0, MeshInfo::kSouth), nullptr);
+    EXPECT_NE(t.outLink(0, MeshInfo::kEast), nullptr);
+    EXPECT_NE(t.outLink(0, MeshInfo::kNorth), nullptr);
+    EXPECT_EQ(t.outLink(15, MeshInfo::kEast), nullptr);
+    EXPECT_EQ(t.outLink(15, MeshInfo::kNorth), nullptr);
+}
+
+TEST(Mesh, LinkGeometry)
+{
+    const Topology t = makeMesh(4, 4);
+    const LinkSpec *east = t.outLink(5, MeshInfo::kEast);
+    ASSERT_NE(east, nullptr);
+    EXPECT_EQ(east->dst, 6);
+    EXPECT_EQ(east->dstPort, MeshInfo::kWest);
+    const LinkSpec *north = t.outLink(5, MeshInfo::kNorth);
+    ASSERT_NE(north, nullptr);
+    EXPECT_EQ(north->dst, 9);
+    EXPECT_EQ(north->dstPort, MeshInfo::kSouth);
+}
+
+TEST(Mesh, ManhattanDistances)
+{
+    const Topology t = makeMesh(8, 8);
+    const MeshInfo &m = *t.mesh;
+    for (RouterId a : {0, 7, 27, 63}) {
+        for (RouterId b : {0, 5, 36, 63}) {
+            const int dx = std::abs(m.xOf(a) - m.xOf(b));
+            const int dy = std::abs(m.yOf(a) - m.yOf(b));
+            EXPECT_EQ(t.distance(a, b), dx + dy);
+        }
+    }
+}
+
+TEST(Mesh, MinimalPortsAreProductive)
+{
+    const Topology t = makeMesh(8, 8);
+    for (RouterId a = 0; a < 64; a += 7) {
+        for (RouterId b = 0; b < 64; b += 5) {
+            if (a == b)
+                continue;
+            const auto &ports = t.minimalPorts(a, b);
+            ASSERT_FALSE(ports.empty());
+            for (const PortId p : ports) {
+                const LinkSpec *l = t.outLink(a, p);
+                ASSERT_NE(l, nullptr);
+                EXPECT_EQ(t.distance(l->dst, b), t.distance(a, b) - 1);
+            }
+        }
+    }
+}
+
+TEST(Mesh, NicPorts)
+{
+    const Topology t = makeMesh(3, 3);
+    for (RouterId r = 0; r < 9; ++r) {
+        EXPECT_TRUE(t.isNicPort(r, MeshInfo::kLocal));
+        EXPECT_FALSE(t.isNicPort(r, MeshInfo::kEast));
+        EXPECT_EQ(t.routerOfNode(r), r);
+        ASSERT_EQ(t.nodesAt(r).size(), 1u);
+        EXPECT_EQ(t.nodesAt(r)[0], r);
+    }
+}
+
+TEST(Mesh, RejectsDegenerate)
+{
+    EXPECT_THROW(makeMesh(1, 1), FatalError);
+}
+
+TEST(Torus, WrapLinks)
+{
+    const Topology t = makeTorus(4, 4);
+    ASSERT_TRUE(t.mesh->wrap);
+    const LinkSpec *west_of_zero = t.outLink(0, MeshInfo::kWest);
+    ASSERT_NE(west_of_zero, nullptr);
+    EXPECT_EQ(west_of_zero->dst, 3);
+    // Torus distance uses the wrap: corner to corner is 2, not 6.
+    EXPECT_EQ(t.distance(0, 15), 2);
+}
+
+TEST(Torus, EveryPortWired)
+{
+    const Topology t = makeTorus(3, 3);
+    for (RouterId r = 0; r < 9; ++r) {
+        for (PortId p = 0; p < 4; ++p)
+            EXPECT_NE(t.outLink(r, p), nullptr);
+    }
+}
+
+TEST(Ring, Structure)
+{
+    const Topology t = makeRing(8);
+    EXPECT_EQ(t.numRouters(), 8);
+    const LinkSpec *cw = t.outLink(3, RingInfo::kCw);
+    ASSERT_NE(cw, nullptr);
+    EXPECT_EQ(cw->dst, 4);
+    EXPECT_EQ(cw->dstPort, RingInfo::kCcw);
+    EXPECT_EQ(t.distance(0, 4), 4);
+    EXPECT_EQ(t.distance(0, 5), 3); // shorter the other way
+}
+
+TEST(Dragonfly, PaperInstanceDimensions)
+{
+    const Topology t = makePaperDragonfly();
+    ASSERT_TRUE(t.dragonfly.has_value());
+    const DragonflyInfo &d = *t.dragonfly;
+    EXPECT_EQ(d.p, 4);
+    EXPECT_EQ(d.a, 8);
+    EXPECT_EQ(d.h, 4);
+    EXPECT_EQ(d.g, 32);
+    EXPECT_EQ(t.numRouters(), 256);
+    EXPECT_EQ(t.numNodes(), 1024);
+}
+
+TEST(Dragonfly, IntraGroupFullyConnected)
+{
+    const Topology t = makeDragonfly(2, 4, 2, 0);
+    const DragonflyInfo &d = *t.dragonfly;
+    for (int g = 0; g < d.g; ++g) {
+        for (int i = 0; i < d.a; ++i) {
+            for (int j = 0; j < d.a; ++j) {
+                if (i == j)
+                    continue;
+                EXPECT_EQ(t.distance(d.routerOf(g, i), d.routerOf(g, j)),
+                          1);
+            }
+        }
+    }
+}
+
+TEST(Dragonfly, GroupsOneGlobalHopApart)
+{
+    const Topology t = makeDragonfly(2, 4, 2, 0); // g = 9, fully global
+    const DragonflyInfo &d = *t.dragonfly;
+    // Minimal path between any two groups is at most l-g-l = 3 hops.
+    for (int ga = 0; ga < d.g; ++ga) {
+        for (int gb = 0; gb < d.g; ++gb) {
+            if (ga == gb)
+                continue;
+            EXPECT_LE(t.distance(d.routerOf(ga, 0), d.routerOf(gb, 0)), 3);
+        }
+    }
+}
+
+TEST(Dragonfly, GlobalLinkLatency)
+{
+    const Topology t = makePaperDragonfly();
+    int globals = 0;
+    for (const LinkSpec &l : t.links()) {
+        if (l.global) {
+            EXPECT_EQ(l.latency, 3u);
+            ++globals;
+        } else {
+            EXPECT_EQ(l.latency, 1u);
+        }
+    }
+    // 32 groups * 31 neighbor groups (directed).
+    EXPECT_EQ(globals, 32 * 31);
+}
+
+TEST(Dragonfly, TerminalsPerRouter)
+{
+    const Topology t = makePaperDragonfly();
+    for (RouterId r = 0; r < t.numRouters(); ++r)
+        EXPECT_EQ(static_cast<int>(t.nodesAt(r).size()), 4);
+}
+
+TEST(Dragonfly, RejectsTooManyGroups)
+{
+    EXPECT_THROW(makeDragonfly(2, 4, 2, 10), FatalError);
+}
+
+TEST(FaultyMesh, RemovesLink)
+{
+    const Topology t = makeFaultyMesh(4, 4, {{5, 6}});
+    EXPECT_EQ(t.outLink(5, MeshInfo::kEast), nullptr);
+    EXPECT_EQ(t.outLink(6, MeshInfo::kWest), nullptr);
+    // Still connected; the detour costs 2 extra hops.
+    EXPECT_EQ(t.distance(5, 6), 3);
+    // No mesh metadata: structure-aware routing must refuse it.
+    EXPECT_FALSE(t.mesh.has_value());
+}
+
+TEST(FaultyMesh, RejectsDisconnection)
+{
+    // Cutting both links around router 0 isolates it.
+    EXPECT_THROW(makeFaultyMesh(2, 2, {{0, 1}, {0, 2}}), FatalError);
+}
+
+TEST(FaultyMesh, RejectsNonAdjacent)
+{
+    EXPECT_THROW(makeFaultyMesh(4, 4, {{0, 5}}), FatalError);
+}
+
+TEST(RandomFaultyMesh, StaysConnected)
+{
+    Random rng(123);
+    const Topology t = makeRandomFaultyMesh(6, 6, 8, rng);
+    for (RouterId a = 0; a < t.numRouters(); ++a)
+        EXPECT_GE(t.distance(0, a), 0);
+    EXPECT_EQ(static_cast<int>(t.links().size()), (2 * 6 * 5 - 8) * 2);
+}
+
+TEST(RandomRegular, DegreeAndConnectivity)
+{
+    Random rng(99);
+    const Topology t = makeRandomRegular(16, 4, rng);
+    EXPECT_EQ(t.numRouters(), 16);
+    for (RouterId r = 0; r < 16; ++r) {
+        int wired = 0;
+        for (PortId p = 0; p < 4; ++p) {
+            if (t.outLink(r, p))
+                ++wired;
+        }
+        EXPECT_EQ(wired, 4);
+        EXPECT_TRUE(t.isNicPort(r, 4));
+    }
+}
+
+TEST(RandomRegular, RejectsOddStubCount)
+{
+    Random rng(1);
+    EXPECT_THROW(makeRandomRegular(5, 3, rng), FatalError);
+}
+
+TEST(Topology, LatencyDistanceWeighted)
+{
+    const Topology t = makePaperDragonfly();
+    const DragonflyInfo &d = *t.dragonfly;
+    // Two routers in the same group: 1-cycle local link.
+    EXPECT_EQ(t.latencyDistance(d.routerOf(0, 0), d.routerOf(0, 1)), 1u);
+    // Across groups at least one 3-cycle global link is involved.
+    EXPECT_GE(t.latencyDistance(d.routerOf(0, 0), d.routerOf(5, 3)), 3u);
+}
+
+TEST(Topology, CustomGraphValidation)
+{
+    Topology t;
+    t.setRouters(2, 2);
+    t.addBiLink(0, 0, 1, 0);
+    t.attachNic(0, 0, 1);
+    t.attachNic(1, 1, 1);
+    t.finalize();
+    EXPECT_EQ(t.distance(0, 1), 1);
+
+    Topology bad;
+    bad.setRouters(3, 2);
+    bad.addBiLink(0, 0, 1, 0); // router 2 disconnected
+    EXPECT_THROW(bad.finalize(), FatalError);
+}
+
+} // namespace
+} // namespace spin
