@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spin_params.dir/ablation_spin_params.cc.o"
+  "CMakeFiles/ablation_spin_params.dir/ablation_spin_params.cc.o.d"
+  "ablation_spin_params"
+  "ablation_spin_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spin_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

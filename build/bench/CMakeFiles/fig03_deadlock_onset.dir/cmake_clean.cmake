@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_deadlock_onset.dir/fig03_deadlock_onset.cc.o"
+  "CMakeFiles/fig03_deadlock_onset.dir/fig03_deadlock_onset.cc.o.d"
+  "fig03_deadlock_onset"
+  "fig03_deadlock_onset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_deadlock_onset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dragonfly_perf.dir/fig06_dragonfly_perf.cc.o"
+  "CMakeFiles/fig06_dragonfly_perf.dir/fig06_dragonfly_perf.cc.o.d"
+  "fig06_dragonfly_perf"
+  "fig06_dragonfly_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dragonfly_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mesh_perf.dir/fig07_mesh_perf.cc.o"
+  "CMakeFiles/fig07_mesh_perf.dir/fig07_mesh_perf.cc.o.d"
+  "fig07_mesh_perf"
+  "fig07_mesh_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mesh_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

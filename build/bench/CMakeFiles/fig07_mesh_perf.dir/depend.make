@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_mesh_perf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_app_edp.dir/fig08a_app_edp.cc.o"
+  "CMakeFiles/fig08a_app_edp.dir/fig08a_app_edp.cc.o.d"
+  "fig08a_app_edp"
+  "fig08a_app_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_app_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

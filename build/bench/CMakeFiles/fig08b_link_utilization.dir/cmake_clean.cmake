@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_link_utilization.dir/fig08b_link_utilization.cc.o"
+  "CMakeFiles/fig08b_link_utilization.dir/fig08b_link_utilization.cc.o.d"
+  "fig08b_link_utilization"
+  "fig08b_link_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_link_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

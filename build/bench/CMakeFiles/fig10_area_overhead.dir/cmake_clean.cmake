@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_area_overhead.dir/fig10_area_overhead.cc.o"
+  "CMakeFiles/fig10_area_overhead.dir/fig10_area_overhead.cc.o.d"
+  "fig10_area_overhead"
+  "fig10_area_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

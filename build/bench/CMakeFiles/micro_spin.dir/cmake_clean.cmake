@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spin.dir/micro_spin.cc.o"
+  "CMakeFiles/micro_spin.dir/micro_spin.cc.o.d"
+  "micro_spin"
+  "micro_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_router_modules.dir/table2_router_modules.cc.o"
+  "CMakeFiles/table2_router_modules.dir/table2_router_modules.cc.o.d"
+  "table2_router_modules"
+  "table2_router_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_router_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fabric.dir/custom_fabric.cpp.o"
+  "CMakeFiles/custom_fabric.dir/custom_fabric.cpp.o.d"
+  "custom_fabric"
+  "custom_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragonfly_hpc.dir/dragonfly_hpc.cpp.o"
+  "CMakeFiles/dragonfly_hpc.dir/dragonfly_hpc.cpp.o.d"
+  "dragonfly_hpc"
+  "dragonfly_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragonfly_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_noc.dir/irregular_noc.cpp.o"
+  "CMakeFiles/irregular_noc.dir/irregular_noc.cpp.o.d"
+  "irregular_noc"
+  "irregular_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

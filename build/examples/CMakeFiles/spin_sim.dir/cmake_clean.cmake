@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_sim.dir/spin_sim.cpp.o"
+  "CMakeFiles/spin_sim.dir/spin_sim.cpp.o.d"
+  "spin_sim"
+  "spin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

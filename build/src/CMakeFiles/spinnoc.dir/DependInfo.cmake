@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/Config.cc" "src/CMakeFiles/spinnoc.dir/common/Config.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/common/Config.cc.o.d"
+  "/root/repo/src/common/Logging.cc" "src/CMakeFiles/spinnoc.dir/common/Logging.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/common/Logging.cc.o.d"
+  "/root/repo/src/common/Packet.cc" "src/CMakeFiles/spinnoc.dir/common/Packet.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/common/Packet.cc.o.d"
+  "/root/repo/src/common/Random.cc" "src/CMakeFiles/spinnoc.dir/common/Random.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/common/Random.cc.o.d"
+  "/root/repo/src/core/Favors.cc" "src/CMakeFiles/spinnoc.dir/core/Favors.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/Favors.cc.o.d"
+  "/root/repo/src/core/LoopBuffer.cc" "src/CMakeFiles/spinnoc.dir/core/LoopBuffer.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/LoopBuffer.cc.o.d"
+  "/root/repo/src/core/MoveManager.cc" "src/CMakeFiles/spinnoc.dir/core/MoveManager.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/MoveManager.cc.o.d"
+  "/root/repo/src/core/ProbeManager.cc" "src/CMakeFiles/spinnoc.dir/core/ProbeManager.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/ProbeManager.cc.o.d"
+  "/root/repo/src/core/RotatingPriority.cc" "src/CMakeFiles/spinnoc.dir/core/RotatingPriority.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/RotatingPriority.cc.o.d"
+  "/root/repo/src/core/SpecialMsg.cc" "src/CMakeFiles/spinnoc.dir/core/SpecialMsg.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/SpecialMsg.cc.o.d"
+  "/root/repo/src/core/SpinFsm.cc" "src/CMakeFiles/spinnoc.dir/core/SpinFsm.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/SpinFsm.cc.o.d"
+  "/root/repo/src/core/SpinManager.cc" "src/CMakeFiles/spinnoc.dir/core/SpinManager.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/SpinManager.cc.o.d"
+  "/root/repo/src/core/SpinUnit.cc" "src/CMakeFiles/spinnoc.dir/core/SpinUnit.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/core/SpinUnit.cc.o.d"
+  "/root/repo/src/deadlock/Invariants.cc" "src/CMakeFiles/spinnoc.dir/deadlock/Invariants.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/deadlock/Invariants.cc.o.d"
+  "/root/repo/src/deadlock/OracleDetector.cc" "src/CMakeFiles/spinnoc.dir/deadlock/OracleDetector.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/deadlock/OracleDetector.cc.o.d"
+  "/root/repo/src/deadlock/StaticBubble.cc" "src/CMakeFiles/spinnoc.dir/deadlock/StaticBubble.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/deadlock/StaticBubble.cc.o.d"
+  "/root/repo/src/network/Link.cc" "src/CMakeFiles/spinnoc.dir/network/Link.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/network/Link.cc.o.d"
+  "/root/repo/src/network/Network.cc" "src/CMakeFiles/spinnoc.dir/network/Network.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/network/Network.cc.o.d"
+  "/root/repo/src/network/NetworkBuilder.cc" "src/CMakeFiles/spinnoc.dir/network/NetworkBuilder.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/network/NetworkBuilder.cc.o.d"
+  "/root/repo/src/network/Nic.cc" "src/CMakeFiles/spinnoc.dir/network/Nic.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/network/Nic.cc.o.d"
+  "/root/repo/src/power/AreaPowerModel.cc" "src/CMakeFiles/spinnoc.dir/power/AreaPowerModel.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/power/AreaPowerModel.cc.o.d"
+  "/root/repo/src/router/InputUnit.cc" "src/CMakeFiles/spinnoc.dir/router/InputUnit.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/router/InputUnit.cc.o.d"
+  "/root/repo/src/router/OutputUnit.cc" "src/CMakeFiles/spinnoc.dir/router/OutputUnit.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/router/OutputUnit.cc.o.d"
+  "/root/repo/src/router/Router.cc" "src/CMakeFiles/spinnoc.dir/router/Router.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/router/Router.cc.o.d"
+  "/root/repo/src/router/VirtualChannel.cc" "src/CMakeFiles/spinnoc.dir/router/VirtualChannel.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/router/VirtualChannel.cc.o.d"
+  "/root/repo/src/routing/DimensionOrder.cc" "src/CMakeFiles/spinnoc.dir/routing/DimensionOrder.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/routing/DimensionOrder.cc.o.d"
+  "/root/repo/src/routing/EscapeVc.cc" "src/CMakeFiles/spinnoc.dir/routing/EscapeVc.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/routing/EscapeVc.cc.o.d"
+  "/root/repo/src/routing/MinimalAdaptive.cc" "src/CMakeFiles/spinnoc.dir/routing/MinimalAdaptive.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/routing/MinimalAdaptive.cc.o.d"
+  "/root/repo/src/routing/RoutingAlgorithm.cc" "src/CMakeFiles/spinnoc.dir/routing/RoutingAlgorithm.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/routing/RoutingAlgorithm.cc.o.d"
+  "/root/repo/src/routing/TorusBubble.cc" "src/CMakeFiles/spinnoc.dir/routing/TorusBubble.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/routing/TorusBubble.cc.o.d"
+  "/root/repo/src/routing/Ugal.cc" "src/CMakeFiles/spinnoc.dir/routing/Ugal.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/routing/Ugal.cc.o.d"
+  "/root/repo/src/routing/WestFirst.cc" "src/CMakeFiles/spinnoc.dir/routing/WestFirst.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/routing/WestFirst.cc.o.d"
+  "/root/repo/src/sim/Clock.cc" "src/CMakeFiles/spinnoc.dir/sim/Clock.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/sim/Clock.cc.o.d"
+  "/root/repo/src/stats/Stats.cc" "src/CMakeFiles/spinnoc.dir/stats/Stats.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/stats/Stats.cc.o.d"
+  "/root/repo/src/topology/Dragonfly.cc" "src/CMakeFiles/spinnoc.dir/topology/Dragonfly.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/topology/Dragonfly.cc.o.d"
+  "/root/repo/src/topology/Irregular.cc" "src/CMakeFiles/spinnoc.dir/topology/Irregular.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/topology/Irregular.cc.o.d"
+  "/root/repo/src/topology/Mesh.cc" "src/CMakeFiles/spinnoc.dir/topology/Mesh.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/topology/Mesh.cc.o.d"
+  "/root/repo/src/topology/Ring.cc" "src/CMakeFiles/spinnoc.dir/topology/Ring.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/topology/Ring.cc.o.d"
+  "/root/repo/src/topology/Topology.cc" "src/CMakeFiles/spinnoc.dir/topology/Topology.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/topology/Topology.cc.o.d"
+  "/root/repo/src/topology/TopologyIo.cc" "src/CMakeFiles/spinnoc.dir/topology/TopologyIo.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/topology/TopologyIo.cc.o.d"
+  "/root/repo/src/topology/Torus.cc" "src/CMakeFiles/spinnoc.dir/topology/Torus.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/topology/Torus.cc.o.d"
+  "/root/repo/src/traffic/CoherenceTraffic.cc" "src/CMakeFiles/spinnoc.dir/traffic/CoherenceTraffic.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/traffic/CoherenceTraffic.cc.o.d"
+  "/root/repo/src/traffic/SyntheticInjector.cc" "src/CMakeFiles/spinnoc.dir/traffic/SyntheticInjector.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/traffic/SyntheticInjector.cc.o.d"
+  "/root/repo/src/traffic/TraceTraffic.cc" "src/CMakeFiles/spinnoc.dir/traffic/TraceTraffic.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/traffic/TraceTraffic.cc.o.d"
+  "/root/repo/src/traffic/TrafficPattern.cc" "src/CMakeFiles/spinnoc.dir/traffic/TrafficPattern.cc.o" "gcc" "src/CMakeFiles/spinnoc.dir/traffic/TrafficPattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

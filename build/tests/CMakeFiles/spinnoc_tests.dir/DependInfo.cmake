@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bubble.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_bubble.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_bubble.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_deadlock.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_deadlock.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_deadlock.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_determinism.cc.o.d"
+  "/root/repo/tests/test_favors.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_favors.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_favors.cc.o.d"
+  "/root/repo/tests/test_heterogeneous.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_heterogeneous.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_heterogeneous.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_io.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_io.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_io.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_nic.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_nic.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_nic.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_router_units.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_router_units.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_router_units.cc.o.d"
+  "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_routing.cc.o.d"
+  "/root/repo/tests/test_spin_corners.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_spin_corners.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_spin_corners.cc.o.d"
+  "/root/repo/tests/test_spin_recovery.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_spin_recovery.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_spin_recovery.cc.o.d"
+  "/root/repo/tests/test_spin_units.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_spin_units.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_spin_units.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_theorem.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_theorem.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_theorem.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_traffic.cc" "tests/CMakeFiles/spinnoc_tests.dir/test_traffic.cc.o" "gcc" "tests/CMakeFiles/spinnoc_tests.dir/test_traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spinnoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
