@@ -7,23 +7,32 @@
  *   --warmup N     warmup cycles per point
  *   --measure N    measurement cycles per point
  *   --fast         quarter-scale run for smoke testing
+ *   --seed N       override the preset's RNG seed
+ *   --json PATH    also write the results as machine-readable JSON
+ *   --trace PATH   capture a Chrome trace (chrome://tracing / Perfetto)
+ *                  of the first simulated network
  *
- * and prints the same rows/series as the paper's figure. Absolute
- * numbers differ from the paper's gem5 testbed; the *shape* (who
- * saturates first, by roughly what factor) is what EXPERIMENTS.md
- * validates.
+ * Unknown flags are rejected with the usage message. The printed
+ * rows/series match the paper's figure; absolute numbers differ from
+ * the paper's gem5 testbed, the *shape* (who saturates first, by
+ * roughly what factor) is what EXPERIMENTS.md validates.
  */
 
 #ifndef SPINNOC_BENCH_BENCHUTIL_HH
 #define SPINNOC_BENCH_BENCHUTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "network/NetworkBuilder.hh"
+#include "obs/Json.hh"
+#include "obs/Tracer.hh"
 #include "traffic/SyntheticInjector.hh"
 
 namespace spin::bench
@@ -35,24 +44,109 @@ struct Options
     Cycle warmup = 2000;
     Cycle measure = 4000;
     bool fast = false;
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+    std::string jsonPath;
+    std::string tracePath;
 
-    static Options
-    parse(int argc, char **argv)
+    static const char *
+    usage()
     {
-        Options o;
+        return "options:\n"
+               "  --warmup N     warmup cycles per point\n"
+               "  --measure N    measurement cycles per point\n"
+               "  --fast         quarter-scale smoke run\n"
+               "  --seed N       override the preset RNG seed\n"
+               "  --json PATH    write results as JSON\n"
+               "  --trace PATH   write a Chrome trace of the first "
+               "network\n"
+               "  --help         this message\n";
+    }
+
+    /**
+     * Testable parser core. Returns false (with @p err set) on an
+     * unknown flag or a missing argument; never exits. "--help" is
+     * treated as an error here so parse() can special-case it.
+     */
+    static bool
+    parseInto(Options &o, int argc, char **argv, std::string &err)
+    {
+        const auto value = [&](int &i) -> const char * {
+            if (i + 1 >= argc) {
+                err = std::string("missing value for ") + argv[i];
+                return nullptr;
+            }
+            return argv[++i];
+        };
         for (int i = 1; i < argc; ++i) {
-            if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
-                o.warmup = std::strtoull(argv[++i], nullptr, 10);
-            else if (!std::strcmp(argv[i], "--measure") && i + 1 < argc)
-                o.measure = std::strtoull(argv[++i], nullptr, 10);
-            else if (!std::strcmp(argv[i], "--fast"))
+            const char *a = argv[i];
+            if (!std::strcmp(a, "--warmup")) {
+                const char *v = value(i);
+                if (!v)
+                    return false;
+                o.warmup = std::strtoull(v, nullptr, 10);
+            } else if (!std::strcmp(a, "--measure")) {
+                const char *v = value(i);
+                if (!v)
+                    return false;
+                o.measure = std::strtoull(v, nullptr, 10);
+            } else if (!std::strcmp(a, "--seed")) {
+                const char *v = value(i);
+                if (!v)
+                    return false;
+                o.seed = std::strtoull(v, nullptr, 10);
+                o.seedSet = true;
+            } else if (!std::strcmp(a, "--json")) {
+                const char *v = value(i);
+                if (!v)
+                    return false;
+                o.jsonPath = v;
+            } else if (!std::strcmp(a, "--trace")) {
+                const char *v = value(i);
+                if (!v)
+                    return false;
+                o.tracePath = v;
+            } else if (!std::strcmp(a, "--fast")) {
                 o.fast = true;
+            } else {
+                err = std::string("unknown flag: ") + a;
+                return false;
+            }
         }
         if (o.fast) {
             o.warmup /= 4;
             o.measure /= 4;
         }
+        return true;
+    }
+
+    /** CLI entry: parse or die with the usage message. */
+    static Options
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--help") ||
+                !std::strcmp(argv[i], "-h")) {
+                std::printf("%s", usage());
+                std::exit(0);
+            }
+        }
+        Options o;
+        std::string err;
+        if (!parseInto(o, argc, argv, err)) {
+            std::fprintf(stderr, "%s: %s\n%s", argv[0], err.c_str(),
+                         usage());
+            std::exit(2);
+        }
         return o;
+    }
+
+    /** Apply CLI overrides (--seed) to a preset before building. */
+    void
+    apply(ConfigPreset &p) const
+    {
+        if (seedSet)
+            p.cfg.seed = seed;
     }
 };
 
@@ -82,12 +176,16 @@ struct SweepResult
  * A point counts as saturated when the average latency exceeds
  * @p latency_cap or throughput falls >10% below offered load; the sweep
  * stops two points after first saturation (enough to draw the knee).
+ *
+ * @p instrument, when set, is invoked on each freshly built network
+ * before simulation starts (e.g. to attach a tracer or samplers).
  */
 inline SweepResult
 sweep(const ConfigPreset &preset,
       const std::shared_ptr<const Topology> &topo, Pattern pattern,
       const std::vector<double> &rates, const Options &opt,
-      double latency_cap = 400.0)
+      double latency_cap = 400.0,
+      const std::function<void(Network &)> &instrument = {})
 {
     SweepResult res;
     int past_saturation = 0;
@@ -95,6 +193,8 @@ sweep(const ConfigPreset &preset,
         if (past_saturation >= 2)
             break;
         auto net = preset.build(topo);
+        if (instrument)
+            instrument(*net);
         InjectorConfig icfg;
         icfg.injectionRate = rate;
         icfg.seed = preset.cfg.seed + 1;
@@ -154,6 +254,132 @@ rateLadder(double lo, double hi, int points)
         rates.push_back(lo + step * i);
     return rates;
 }
+
+/** JSON image of one sweep (same fields as printSweep's table). */
+inline obs::JsonValue
+sweepToJson(const SweepResult &res)
+{
+    using obs::JsonValue;
+    JsonValue o = JsonValue::object();
+    JsonValue pts = JsonValue::array();
+    for (const SweepPoint &p : res.points) {
+        JsonValue pt = JsonValue::object();
+        pt.set("rate", JsonValue(p.rate));
+        pt.set("latency", JsonValue(p.latency));
+        pt.set("throughput", JsonValue(p.throughput));
+        pt.set("saturated", JsonValue(p.saturated));
+        pts.push(std::move(pt));
+    }
+    o.set("points", std::move(pts));
+    o.set("saturationRate", JsonValue(res.saturationRate));
+    return o;
+}
+
+/**
+ * Attaches a Chrome trace to the *first* network it is offered (a
+ * sweep builds one network per rate; tracing them all would interleave
+ * runs in one file). Pass via the sweep() instrument hook:
+ *
+ *   TraceAttacher ta(opt.tracePath);
+ *   sweep(..., opt, cap, [&](Network &n) { ta(n); });
+ */
+class TraceAttacher
+{
+  public:
+    explicit TraceAttacher(std::string path) : path_(std::move(path)) {}
+
+    void
+    operator()(Network &net)
+    {
+        if (done_ || path_.empty())
+            return;
+        if (auto sink = obs::ChromeTraceSink::open(path_)) {
+            net.setTracer(std::make_unique<obs::Tracer>(std::move(sink)));
+            done_ = true;
+        } else {
+            std::fprintf(stderr, "cannot open trace file %s\n",
+                         path_.c_str());
+            path_.clear();
+        }
+    }
+
+  private:
+    std::string path_;
+    bool done_ = false;
+};
+
+/**
+ * Collects every sweep (and any extra sections) of a bench run and, on
+ * request, writes them as one JSON document -- the machine-readable
+ * twin of the printed tables.
+ */
+class BenchReporter
+{
+  public:
+    explicit BenchReporter(const std::string &bench_name,
+                           const Options &opt)
+        : root_(obs::JsonValue::object())
+    {
+        using obs::JsonValue;
+        root_.set("bench", JsonValue(bench_name));
+        JsonValue o = JsonValue::object();
+        o.set("warmup", JsonValue(opt.warmup));
+        o.set("measure", JsonValue(opt.measure));
+        o.set("fast", JsonValue(opt.fast));
+        if (opt.seedSet)
+            o.set("seed", JsonValue(opt.seed));
+        root_.set("options", std::move(o));
+        root_.set("sweeps", JsonValue::array());
+    }
+
+    /** Print the sweep table and record it for the JSON export. */
+    void
+    addSweep(const std::string &config, const std::string &pattern,
+             const SweepResult &res)
+    {
+        printSweep(config, pattern, res);
+        using obs::JsonValue;
+        JsonValue s = sweepToJson(res);
+        JsonValue entry = JsonValue::object();
+        entry.set("config", JsonValue(config));
+        entry.set("pattern", JsonValue(pattern));
+        for (auto &kv : s.members())
+            entry.set(kv.first, std::move(kv.second));
+        root_.find("sweeps")->push(std::move(entry));
+    }
+
+    /** Attach an arbitrary extra section (e.g. raw Stats::toJson()). */
+    void
+    add(const std::string &section, obs::JsonValue v)
+    {
+        root_.set(section, std::move(v));
+    }
+
+    obs::JsonValue &root() { return root_; }
+
+    /** Write to opt.jsonPath when --json was given. True on success. */
+    bool
+    writeIfRequested(const Options &opt) const
+    {
+        if (opt.jsonPath.empty())
+            return true;
+        std::FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opt.jsonPath.c_str());
+            return false;
+        }
+        const std::string text = root_.dump(2);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+        return true;
+    }
+
+  private:
+    obs::JsonValue root_;
+};
 
 } // namespace spin::bench
 

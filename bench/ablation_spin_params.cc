@@ -93,6 +93,10 @@ main(int argc, char **argv)
     const Options opt = Options::parse(argc, argv);
     const Cycle measure = opt.fast ? 3000 : 10000;
 
+    BenchReporter report("ablation_spin_params", opt);
+    obs::JsonValue tdd_rows = obs::JsonValue::array();
+    obs::JsonValue delay_rows = obs::JsonValue::array();
+
     std::printf("=== Ablation 1: t_DD ===\n");
     std::printf("%8s %26s %28s\n", "t_DD", "8-ring recovery (cycles)",
                 "mesh thru @0.25 bit-reverse");
@@ -102,6 +106,11 @@ main(int argc, char **argv)
         std::printf("%8llu %26llu %28.3f\n",
                     static_cast<unsigned long long>(t_dd),
                     static_cast<unsigned long long>(rec), thr);
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("tDd", obs::JsonValue(t_dd));
+        row.set("ringRecoveryCycles", obs::JsonValue(rec));
+        row.set("meshThroughput", obs::JsonValue(thr));
+        tdd_rows.push(std::move(row));
     }
     std::printf("\nSmaller t_DD resolves faster but fires more probes "
                 "under plain congestion;\nthe paper's 128 is the "
@@ -110,13 +119,19 @@ main(int argc, char **argv)
     std::printf("\n=== Ablation 2: probeMoveDelay (t_DD = 32) ===\n");
     std::printf("%8s %26s\n", "delay", "8-ring recovery (cycles)");
     for (const Cycle d : {1, 4, 8, 16, 32}) {
+        const Cycle rec = ringRecoveryTime(32, d);
         std::printf("%8llu %26llu\n",
                     static_cast<unsigned long long>(d),
-                    static_cast<unsigned long long>(
-                        ringRecoveryTime(32, d)));
+                    static_cast<unsigned long long>(rec));
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("probeMoveDelay", obs::JsonValue(d));
+        row.set("ringRecoveryCycles", obs::JsonValue(rec));
+        delay_rows.push(std::move(row));
     }
     std::printf("\nBelow ~packet-size cycles the probe_move outruns the "
                 "rotated packets and\ndies, forcing kill_move plus a "
                 "fresh t_DD round per extra spin.\n");
-    return 0;
+    report.add("tDdSweep", std::move(tdd_rows));
+    report.add("probeMoveDelaySweep", std::move(delay_rows));
+    return report.writeIfRequested(opt) ? 0 : 1;
 }

@@ -26,7 +26,7 @@ namespace
 /** Run at one rate; report whether a deadlock ever appears. */
 bool
 deadlocks(const std::shared_ptr<const Topology> &topo, RoutingKind kind,
-          Pattern pattern, double rate, Cycle cycles)
+          Pattern pattern, double rate, Cycle cycles, const Options &opt)
 {
     NetworkConfig cfg;
     cfg.vnets = 1; // Fig. 3 uses plain 1-flit synthetic traffic
@@ -34,6 +34,8 @@ deadlocks(const std::shared_ptr<const Topology> &topo, RoutingKind kind,
     cfg.vcDepth = 5;
     cfg.maxPacketSize = 5;
     cfg.scheme = DeadlockScheme::None;
+    if (opt.seedSet)
+        cfg.seed = opt.seed;
     auto net = buildNetwork(topo, cfg, kind);
 
     InjectorConfig icfg;
@@ -51,11 +53,15 @@ deadlocks(const std::shared_ptr<const Topology> &topo, RoutingKind kind,
     return oracle.detect().deadlocked;
 }
 
-void
+obs::JsonValue
 onsetSweep(const char *label, const std::shared_ptr<const Topology> &topo,
            RoutingKind kind, Cycle cycles,
-           const std::vector<Pattern> &patterns)
+           const std::vector<Pattern> &patterns, const Options &opt)
 {
+    obs::JsonValue block = obs::JsonValue::object();
+    block.set("label", obs::JsonValue(label));
+    block.set("windowCycles", obs::JsonValue(cycles));
+    obs::JsonValue rows = obs::JsonValue::array();
     std::printf("--- %s (window %llu cycles, 3 VCs, 1-flit packets) "
                 "---\n%-16s %s\n", label,
                 static_cast<unsigned long long>(cycles), "pattern",
@@ -65,7 +71,7 @@ onsetSweep(const char *label, const std::shared_ptr<const Topology> &topo,
     for (const Pattern pat : patterns) {
         double onset = -1.0;
         for (const double rate : ladder) {
-            if (deadlocks(topo, kind, pat, rate, cycles)) {
+            if (deadlocks(topo, kind, pat, rate, cycles, opt)) {
                 onset = rate;
                 break;
             }
@@ -75,8 +81,14 @@ onsetSweep(const char *label, const std::shared_ptr<const Topology> &topo,
                         toString(pat).c_str());
         else
             std::printf("%-16s %.2f\n", toString(pat).c_str(), onset);
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("pattern", obs::JsonValue(toString(pat)));
+        row.set("onsetRate", obs::JsonValue(onset));
+        rows.push(std::move(row));
     }
     std::printf("\n");
+    block.set("rows", std::move(rows));
+    return block;
 }
 
 } // namespace
@@ -91,22 +103,26 @@ main(int argc, char **argv)
     std::printf("=== Fig. 3: minimum injection rate at which the "
                 "network deadlocks ===\n\n");
 
+    BenchReporter report("fig03_deadlock_onset", opt);
+    obs::JsonValue blocks = obs::JsonValue::array();
+
     auto mesh = std::make_shared<Topology>(makeMesh(8, 8));
-    onsetSweep("8x8 mesh, minimal adaptive", mesh,
-               RoutingKind::MinimalAdaptive, mesh_cycles,
-               {Pattern::UniformRandom, Pattern::BitComplement,
-                Pattern::Transpose, Pattern::Tornado, Pattern::BitReverse,
-                Pattern::Shuffle});
+    blocks.push(onsetSweep("8x8 mesh, minimal adaptive", mesh,
+                           RoutingKind::MinimalAdaptive, mesh_cycles,
+                           {Pattern::UniformRandom, Pattern::BitComplement,
+                            Pattern::Transpose, Pattern::Tornado,
+                            Pattern::BitReverse, Pattern::Shuffle}, opt));
 
     auto dfly = std::make_shared<Topology>(makePaperDragonfly());
-    onsetSweep("1024-node dragonfly, UGAL (unrestricted VCs)", dfly,
-               RoutingKind::UgalSpin, dfly_cycles,
-               {Pattern::UniformRandom, Pattern::BitComplement,
-                Pattern::Tornado, Pattern::Shuffle});
+    blocks.push(onsetSweep("1024-node dragonfly, UGAL (unrestricted VCs)",
+                           dfly, RoutingKind::UgalSpin, dfly_cycles,
+                           {Pattern::UniformRandom, Pattern::BitComplement,
+                            Pattern::Tornado, Pattern::Shuffle}, opt));
+    report.add("onsetSweeps", std::move(blocks));
 
     std::printf("Reference: real applications load the NoC at roughly "
                 "0.01-0.05 flits/node/cycle\n(paper Sec. II-F): onset "
                 "rates above are ~10x higher, so deadlocks are rare\n"
                 "events and recovery beats avoidance.\n");
-    return 0;
+    return report.writeIfRequested(opt) ? 0 : 1;
 }

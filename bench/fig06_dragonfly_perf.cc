@@ -38,6 +38,8 @@ main(int argc, char **argv)
     std::vector<ConfigPreset> presets = dragonflyPresets3Vc();
     for (ConfigPreset &p : dragonflyPresets1Vc())
         presets.push_back(p);
+    for (ConfigPreset &p : presets)
+        opt.apply(p);
 
     std::printf("=== Fig. 6: 1024-node dragonfly latency vs injection "
                 "rate ===\n\n");
@@ -47,13 +49,16 @@ main(int argc, char **argv)
         double sat;
     };
     std::vector<SatRow> summary;
+    BenchReporter report("fig06_dragonfly_perf", opt);
+    TraceAttacher attach(opt.tracePath);
 
     for (const Pattern pat : patterns) {
         const auto rates = rateLadder(0.02, 0.32, opt.fast ? 4 : 6);
         for (const ConfigPreset &preset : presets) {
             const SweepResult res =
-                sweep(preset, topo, pat, rates, opt, 600.0);
-            printSweep(preset.name, toString(pat), res);
+                sweep(preset, topo, pat, rates, opt, 600.0,
+                      [&](Network &n) { attach(n); });
+            report.addSweep(preset.name, toString(pat), res);
             summary.push_back({preset.name, toString(pat),
                                res.saturationRate});
         }
@@ -64,5 +69,5 @@ main(int argc, char **argv)
     for (const auto &r : summary)
         std::printf("%-24s %-16s %8.3f\n", r.config.c_str(),
                     r.pattern.c_str(), r.sat);
-    return 0;
+    return report.writeIfRequested(opt) ? 0 : 1;
 }

@@ -33,6 +33,8 @@ main(int argc, char **argv)
     std::vector<ConfigPreset> presets = meshPresets3Vc();
     for (ConfigPreset &p : meshPresets1Vc())
         presets.push_back(p);
+    for (ConfigPreset &p : presets)
+        opt.apply(p);
 
     std::printf("=== Fig. 7: 8x8 mesh latency vs injection rate ===\n\n");
     struct SatRow
@@ -41,12 +43,16 @@ main(int argc, char **argv)
         double sat;
     };
     std::vector<SatRow> summary;
+    BenchReporter report("fig07_mesh_perf", opt);
+    TraceAttacher attach(opt.tracePath);
 
     for (const Pattern pat : patterns) {
         const auto rates = rateLadder(0.02, 0.62, opt.fast ? 5 : 11);
         for (const ConfigPreset &preset : presets) {
-            const SweepResult res = sweep(preset, topo, pat, rates, opt);
-            printSweep(preset.name, toString(pat), res);
+            const SweepResult res =
+                sweep(preset, topo, pat, rates, opt, 400.0,
+                      [&](Network &n) { attach(n); });
+            report.addSweep(preset.name, toString(pat), res);
             summary.push_back({preset.name, toString(pat),
                                res.saturationRate});
         }
@@ -57,5 +63,5 @@ main(int argc, char **argv)
     for (const auto &r : summary)
         std::printf("%-24s %-16s %8.3f\n", r.config.c_str(),
                     r.pattern.c_str(), r.sat);
-    return 0;
+    return report.writeIfRequested(opt) ? 0 : 1;
 }

@@ -23,7 +23,12 @@ main(int argc, char **argv)
     const Cycle warm = opt.fast ? 500 : 2000;
     const Cycle meas = opt.fast ? 2000 : 10000;
     auto topo = std::make_shared<Topology>(makeMesh(8, 8));
-    const ConfigPreset preset = meshPresets3Vc()[3]; // MinAdaptive+SPIN
+    ConfigPreset preset = meshPresets3Vc()[3]; // MinAdaptive+SPIN
+    opt.apply(preset);
+
+    BenchReporter report("fig08b_link_utilization", opt);
+    TraceAttacher attach(opt.tracePath);
+    obs::JsonValue rows = obs::JsonValue::array();
 
     std::printf("=== Fig. 8b: link utilization breakdown, 8x8 mesh, "
                 "MinAdaptive_3VC_SPIN, uniform random ===\n");
@@ -32,6 +37,8 @@ main(int argc, char **argv)
 
     for (const double rate : {0.01, 0.2, 0.5}) {
         auto net = preset.build(topo);
+        attach(*net);
+        net->enableSampling();
         InjectorConfig icfg;
         icfg.injectionRate = rate;
         SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
@@ -51,6 +58,16 @@ main(int argc, char **argv)
                     100 * u.frac(u.moveCycles),
                     100 * (u.frac(u.probeCycles) + u.frac(u.moveCycles)),
                     100 * u.frac(u.idleCycles));
+
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("rate", obs::JsonValue(rate));
+        row.set("flitFrac", obs::JsonValue(u.frac(u.flitCycles)));
+        row.set("probeFrac", obs::JsonValue(u.frac(u.probeCycles)));
+        row.set("moveFrac", obs::JsonValue(u.frac(u.moveCycles)));
+        row.set("idleFrac", obs::JsonValue(u.frac(u.idleCycles)));
+        row.set("stats", net->stats().toJson());
+        rows.push(std::move(row));
     }
-    return 0;
+    report.add("linkUtilization", std::move(rows));
+    return report.writeIfRequested(opt) ? 0 : 1;
 }

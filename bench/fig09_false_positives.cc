@@ -20,11 +20,17 @@ using namespace spin::bench;
 namespace
 {
 
-void
+obs::JsonValue
 spinSweep(const char *label, const std::shared_ptr<const Topology> &topo,
           RoutingKind kind, int vcs, Pattern pattern,
-          const std::vector<double> &rates, Cycle cycles)
+          const std::vector<double> &rates, Cycle cycles,
+          const Options &opt)
 {
+    obs::JsonValue block = obs::JsonValue::object();
+    block.set("label", obs::JsonValue(label));
+    block.set("vcsPerVnet", obs::JsonValue(vcs));
+    block.set("pattern", obs::JsonValue(toString(pattern)));
+    obs::JsonValue rows = obs::JsonValue::array();
     std::printf("--- %s (%d VC/vnet, %s, %llu cycles) ---\n", label, vcs,
                 toString(pattern).c_str(),
                 static_cast<unsigned long long>(cycles));
@@ -37,6 +43,8 @@ spinSweep(const char *label, const std::shared_ptr<const Topology> &topo,
         cfg.vcDepth = 5;
         cfg.maxPacketSize = 5;
         cfg.scheme = DeadlockScheme::Spin;
+        if (opt.seedSet)
+            cfg.seed = opt.seed;
         auto net = buildNetwork(topo, cfg, kind);
         InjectorConfig icfg;
         icfg.injectionRate = rate;
@@ -51,8 +59,17 @@ spinSweep(const char *label, const std::shared_ptr<const Topology> &topo,
                     static_cast<unsigned long long>(st.falsePositiveSpins),
                     static_cast<unsigned long long>(st.probesSent),
                     static_cast<unsigned long long>(st.probesReturned));
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("rate", obs::JsonValue(rate));
+        row.set("spins", obs::JsonValue(st.spins));
+        row.set("falsePositiveSpins", obs::JsonValue(st.falsePositiveSpins));
+        row.set("probesSent", obs::JsonValue(st.probesSent));
+        row.set("probesReturned", obs::JsonValue(st.probesReturned));
+        rows.push(std::move(row));
     }
     std::printf("\n");
+    block.set("rows", std::move(rows));
+    return block;
 }
 
 } // namespace
@@ -67,18 +84,27 @@ main(int argc, char **argv)
     std::printf("=== Fig. 9: spins and false positives vs injection "
                 "rate ===\n\n");
 
+    BenchReporter report("fig09_false_positives", opt);
+    obs::JsonValue blocks = obs::JsonValue::array();
+
     auto mesh = std::make_shared<Topology>(makeMesh(8, 8));
     const std::vector<double> mesh_rates{0.05, 0.15, 0.25, 0.35, 0.45};
-    spinSweep("8x8 mesh", mesh, RoutingKind::MinimalAdaptive, 1,
-              Pattern::UniformRandom, mesh_rates, mesh_cycles);
-    spinSweep("8x8 mesh", mesh, RoutingKind::MinimalAdaptive, 3,
-              Pattern::UniformRandom, mesh_rates, mesh_cycles);
+    blocks.push(spinSweep("8x8 mesh", mesh, RoutingKind::MinimalAdaptive,
+                          1, Pattern::UniformRandom, mesh_rates,
+                          mesh_cycles, opt));
+    blocks.push(spinSweep("8x8 mesh", mesh, RoutingKind::MinimalAdaptive,
+                          3, Pattern::UniformRandom, mesh_rates,
+                          mesh_cycles, opt));
 
     auto dfly = std::make_shared<Topology>(makePaperDragonfly());
     const std::vector<double> dfly_rates{0.05, 0.15, 0.25};
-    spinSweep("1024-node dragonfly", dfly, RoutingKind::MinimalAdaptive,
-              1, Pattern::BitComplement, dfly_rates, dfly_cycles);
-    spinSweep("1024-node dragonfly", dfly, RoutingKind::UgalSpin, 3,
-              Pattern::BitComplement, dfly_rates, dfly_cycles);
-    return 0;
+    blocks.push(spinSweep("1024-node dragonfly", dfly,
+                          RoutingKind::MinimalAdaptive, 1,
+                          Pattern::BitComplement, dfly_rates, dfly_cycles,
+                          opt));
+    blocks.push(spinSweep("1024-node dragonfly", dfly,
+                          RoutingKind::UgalSpin, 3, Pattern::BitComplement,
+                          dfly_rates, dfly_cycles, opt));
+    report.add("spinSweeps", std::move(blocks));
+    return report.writeIfRequested(opt) ? 0 : 1;
 }

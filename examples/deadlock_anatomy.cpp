@@ -6,15 +6,24 @@
  * then narrates each phase as it happens: detection (t_DD expiry),
  * probe traversal, loop latch, move, the synchronized spin, the
  * probe_move re-check and the kill_move epilogue.
+ *
+ * Telemetry flags:
+ *   --trace PATH   Chrome trace (chrome://tracing / ui.perfetto.dev)
+ *   --jsonl PATH   same events as newline-delimited JSON
+ *   --dot PATH     Graphviz DOT of the captured wait-for loop
+ *   --json PATH    full telemetry dump (config, stats, forensics)
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/SpinManager.hh"
 #include "core/SpinUnit.hh"
 #include "deadlock/OracleDetector.hh"
 #include "network/NetworkBuilder.hh"
+#include "obs/Forensics.hh"
+#include "obs/Tracer.hh"
 #include "topology/Ring.hh"
 
 using namespace spin;
@@ -59,9 +68,38 @@ stateLine(SpinManager &mgr, int n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     constexpr int kN = 6;
+
+    std::string trace_path, jsonl_path, dot_path, json_path;
+    for (int i = 1; i < argc; ++i) {
+        const auto arg = [&](std::string &dst) {
+            if (i + 1 < argc) {
+                dst = argv[++i];
+                return true;
+            }
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            return false;
+        };
+        bool ok = true;
+        if (!std::strcmp(argv[i], "--trace"))
+            ok = arg(trace_path);
+        else if (!std::strcmp(argv[i], "--jsonl"))
+            ok = arg(jsonl_path);
+        else if (!std::strcmp(argv[i], "--dot"))
+            ok = arg(dot_path);
+        else if (!std::strcmp(argv[i], "--json"))
+            ok = arg(json_path);
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace P] [--jsonl P] [--dot P] "
+                         "[--json P]\n", argv[0]);
+            return 2;
+        }
+        if (!ok)
+            return 2;
+    }
 
     auto topo = std::make_shared<Topology>(makeRing(kN));
     NetworkConfig cfg;
@@ -74,6 +112,20 @@ main()
     Network net(topo, cfg, std::make_unique<Clockwise>());
     SpinManager &mgr = *net.spinManager();
     OracleDetector oracle(net);
+
+    net.enableForensics();
+    net.enableSampling(obs::SamplerConfig{16, 4096});
+    if (!trace_path.empty()) {
+        if (auto sink = obs::ChromeTraceSink::open(trace_path))
+            net.setTracer(std::make_unique<obs::Tracer>(std::move(sink)));
+        else
+            std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+    } else if (!jsonl_path.empty()) {
+        if (auto sink = obs::JsonlSink::open(jsonl_path))
+            net.setTracer(std::make_unique<obs::Tracer>(std::move(sink)));
+        else
+            std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
+    }
 
     std::printf("=== Deadlock anatomy on a %d-router ring ===\n\n", kN);
     std::printf("Every node sends one 5-flit packet two hops clockwise "
@@ -158,5 +210,36 @@ main()
                 static_cast<unsigned long long>(
                     net.stats().probesReturned),
                 kN);
+
+    const obs::Forensics &forensics = *net.forensics();
+    if (!forensics.records().empty()) {
+        const obs::LoopSnapshot &snap = forensics.records().front();
+        std::printf("\nForensic snapshot (cycle %llu, via %s): loop of "
+                    "%zu routers:",
+                    static_cast<unsigned long long>(snap.cycle),
+                    snap.origin.c_str(), snap.routers.size());
+        for (const RouterId r : snap.routers)
+            std::printf(" R%d", r);
+        std::printf("\n");
+        if (!dot_path.empty()) {
+            if (forensics.writeDot(dot_path, 0))
+                std::printf("wrote %s (render: dot -Tsvg %s)\n",
+                            dot_path.c_str(), dot_path.c_str());
+            else
+                std::fprintf(stderr, "cannot write %s\n",
+                             dot_path.c_str());
+        }
+    }
+    if (!json_path.empty()) {
+        if (net.dumpTelemetry(json_path))
+            std::printf("wrote %s\n", json_path.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+    if (obs::Tracer *t = net.trace()) {
+        t->flush();
+        std::printf("trace: %llu events recorded\n",
+                    static_cast<unsigned long long>(t->recorded()));
+    }
     return net.packetsInFlight() == 0 ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include "core/SpinManager.hh"
 #include "core/SpinUnit.hh"
 #include "network/Network.hh"
+#include "obs/Tracer.hh"
 #include "router/Router.hh"
 
 namespace spin
@@ -20,6 +21,12 @@ MoveManager::processMove(const SpecialMsg &sm, PortId inport,
     const bool is_pm = sm.type == SmType::ProbeMove;
     auto &dropped = is_pm ? st.probeMovesDropped : st.movesDropped;
 
+    const char *const kind = is_pm ? "probe_move_drop" : "move_drop";
+    const auto drop = [&](const char *reason) {
+        if (obs::Tracer *t = net.trace())
+            t->spin(net.now(), kind, self, reason, sm.sender);
+    };
+
     // Returned to its initiator after consuming the whole path?
     if (sm.sender == self && sm.pathIdx == sm.path.size()) {
         const InitState want =
@@ -28,6 +35,7 @@ MoveManager::processMove(const SpecialMsg &sm, PortId inport,
             unit_.onMoveReturned(sm, inport, net.now());
         } else {
             ++dropped;
+            drop("stale_return");
         }
         return;
     }
@@ -37,6 +45,7 @@ MoveManager::processMove(const SpecialMsg &sm, PortId inport,
     const VictimCtx &victim = unit_.victim();
     if (victim.active && victim.source != sm.sender) {
         ++dropped;
+        drop("other_recovery");
         return;
     }
     SPIN_ASSERT(sm.pathIdx < sm.path.size(), "move overran its path");
@@ -46,6 +55,7 @@ MoveManager::processMove(const SpecialMsg &sm, PortId inport,
         // The dependency traced earlier no longer exists here: the SM
         // is dropped; the initiator will time out and send kill_move.
         ++dropped;
+        drop("no_freezable");
         return;
     }
 
@@ -74,6 +84,9 @@ MoveManager::processKill(const SpecialMsg &sm, PortId inport,
     if (victim.active && victim.source != sm.sender) {
         // Frozen for someone else: the kill is not ours to honor.
         ++st.smContentionDrops;
+        if (obs::Tracer *t = rt.network().trace())
+            t->spin(rt.network().now(), "kill_move_drop", self,
+                    "other_recovery", sm.sender);
         return;
     }
     SPIN_ASSERT(sm.pathIdx < sm.path.size(), "kill_move overran its path");

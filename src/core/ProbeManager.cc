@@ -6,6 +6,7 @@
 #include "core/SpinManager.hh"
 #include "core/SpinUnit.hh"
 #include "network/Network.hh"
+#include "obs/Tracer.hh"
 #include "router/Router.hh"
 
 namespace spin
@@ -20,6 +21,12 @@ ProbeManager::process(const SpecialMsg &sm, PortId inport,
     Stats &st = net.stats();
     const RouterId self = rt.id();
 
+    const auto drop = [&](const char *reason) {
+        if (obs::Tracer *t = net.trace())
+            t->spin(net.now(), "probe_drop", self, reason, sm.sender,
+                    static_cast<std::int64_t>(sm.path.size()));
+    };
+
     if (sm.sender == self) {
         if (unit_.initState() != InitState::DetectDeadlock ||
             unit_.victim().active) {
@@ -28,6 +35,7 @@ ProbeManager::process(const SpecialMsg &sm, PortId inport,
             // (paper Sec. IV-C2, last question).
             ++st.probesDropped;
             ++st.probeDropStale;
+            drop("stale");
             return;
         }
         if (inport == unit_.pointerInport()) {
@@ -50,12 +58,14 @@ ProbeManager::process(const SpecialMsg &sm, PortId inport,
     if (mgr.priorityOf(self, now) > mgr.priorityOf(sm.sender, now)) {
         ++st.probesDropped;
         ++st.probeDropPriority;
+        drop("priority");
         return;
     }
     // Drop when the recorded path no longer fits the loop buffer.
     if (static_cast<int>(sm.path.size()) >= mgr.maxProbeHops()) {
         ++st.probesDropped;
         ++st.probeDropHops;
+        drop("hops");
         return;
     }
     // Dependencies never cross message classes: the chain lives within
@@ -67,6 +77,7 @@ ProbeManager::process(const SpecialMsg &sm, PortId inport,
     if (iu.fromNic() || !iu.allVcsActive(lo, hi)) {
         ++st.probesDropped;
         ++st.probeDropInactive;
+        drop("inactive");
         return;
     }
 
@@ -94,13 +105,17 @@ ProbeManager::process(const SpecialMsg &sm, PortId inport,
     if (n_ports == 0) {
         ++st.probesDropped;
         ++st.probeDropNoDep;
+        drop("no_dep");
         return;
     }
 
+    obs::Tracer *tr = net.trace();
     const auto fork = [&](PortId o) {
         SpecialMsg copy = sm;
         copy.path.push_back(o);
         sends.push_back(SmSend{std::move(copy), self, o});
+        if (tr)
+            tr->spin(net.now(), "probe_fwd", self, nullptr, sm.sender, o);
     };
     for (int i = 0; i < n_ports; ++i)
         fork(ports[i]);

@@ -5,6 +5,7 @@
 
 #include "common/Logging.hh"
 #include "network/Network.hh"
+#include "obs/Tracer.hh"
 #include "router/Router.hh"
 
 namespace spin
@@ -12,6 +13,19 @@ namespace spin
 
 namespace
 {
+
+/** Static-lifetime SM-type label for trace events. */
+const char *
+smName(SmType t)
+{
+    switch (t) {
+      case SmType::Probe:     return "probe";
+      case SmType::Move:      return "move";
+      case SmType::ProbeMove: return "probe_move";
+      case SmType::KillMove:  return "kill_move";
+    }
+    return "?";
+}
 
 /**
  * Upper bound on the length of an elementary cycle in the VC wait-for
@@ -137,12 +151,18 @@ SpinManager::launch(std::vector<SmSend> &sends, Cycle now)
         });
 
     Stats &st = net_.stats();
+    obs::Tracer *tr = net_.trace();
     std::size_t i = 0;
     while (i < sends.size()) {
         std::size_t j = i + 1;
         while (j < sends.size() && sends[j].from == sends[i].from &&
                sends[j].outport == sends[i].outport) {
             ++j;
+        }
+        if (tr) {
+            for (std::size_t k = i + 1; k < j; ++k)
+                tr->spin(now, "sm_contention_drop", sends[k].from,
+                         smName(sends[k].sm.type), sends[k].sm.sender);
         }
         // sends[i] is the winner of this link's contention group.
         SmSend &win = sends[i];
@@ -278,20 +298,25 @@ SpinManager::spinPhase(Cycle now)
     for (const RouterId src : sources) {
         ++st.spins;
         bool could_advance = false;
+        int members = 0;
         for (const Entry &e : entries) {
             if (e.source != src || !e.valid)
+                continue;
+            ++members;
+            if (could_advance)
                 continue;
             const Packet &pkt =
                 *net_.router(e.r).input(e.fe.inport).vc(e.fe.vc).owner();
             const OutputUnit &out = net_.router(e.r).output(e.fe.outport);
             const VcId base = pkt.vnet * cfg.vcsPerVnet;
-            if (out.hasIdleVcIn(base, base + cfg.vcsPerVnet - 1)) {
+            if (out.hasIdleVcIn(base, base + cfg.vcsPerVnet - 1))
                 could_advance = true;
-                break;
-            }
         }
         if (could_advance)
             ++st.falsePositiveSpins;
+        if (obs::Tracer *t = net_.trace())
+            t->spin(now, "spin_exec", src,
+                    could_advance ? "false_positive" : nullptr, members);
     }
 
     // Which frozen entries get refilled this cycle? An entry's own VC
@@ -319,6 +344,9 @@ SpinManager::spinPhase(Cycle now)
         if (!e.valid) {
             units_[e.r]->unfreeze(e.fe.inport, e.fe.outport);
             ++st.spinsCancelled;
+            if (obs::Tracer *t = net_.trace())
+                t->spin(now, "spin_cancel", e.r, nullptr, e.fe.inport,
+                        e.fe.vc);
         }
     }
     for (const RouterId r : involved) {

@@ -3,6 +3,8 @@
 #include "common/Logging.hh"
 #include "core/SpinManager.hh"
 #include "network/Network.hh"
+#include "obs/Forensics.hh"
+#include "obs/Tracer.hh"
 #include "router/Router.hh"
 
 namespace spin
@@ -173,6 +175,8 @@ SpinUnit::tickDetect(Cycle now)
     probe.path.push_back(req);
     mgr_.scheduleSend(now + 1, SmSend{probe, router_.id(), req});
     ++router_.network().stats().probesSent;
+    if (obs::Tracer *t = router_.network().trace())
+        t->spin(now, "probe_sent", router_.id(), nullptr, inport, vcid);
 }
 
 void
@@ -217,6 +221,9 @@ SpinUnit::sendKill(Cycle now)
     state_ = InitState::KillMoveWait;
     deadline_ = now + 1 + loop_.loopLatency() + 1;
     ++router_.network().stats().killMovesSent;
+    if (obs::Tracer *t = router_.network().trace())
+        t->spin(now, "kill_move_sent", router_.id(), nullptr,
+                static_cast<std::int64_t>(kill.path.size()));
 
     // Our own committed freeze (if the move returned before a later
     // probe_move failed) is released immediately.
@@ -260,6 +267,9 @@ SpinUnit::freeze(PortId inport, VcId vc, PortId outport, RouterId source,
     victim_.source = source;
     victim_.spinCycle = spin_cycle;
     frozen_.push_back(FrozenEntry{inport, vc, outport});
+    if (obs::Tracer *t = router_.network().trace())
+        t->spin(router_.network().now(), "vc_freeze", router_.id(),
+                nullptr, inport, vc);
 }
 
 bool
@@ -322,6 +332,18 @@ SpinUnit::onProbeReturned(const SpecialMsg &probe, Cycle now)
     Stats &st = router_.network().stats();
     ++st.probesReturned;
     ++st.movesSent;
+
+    Network &net = router_.network();
+    if (obs::Tracer *t = net.trace()) {
+        t->spin(now, "probe_return", router_.id(), nullptr,
+                static_cast<std::int64_t>(ll),
+                static_cast<std::int64_t>(probe.path.size()));
+        t->spin(te, "move_sent", router_.id(), nullptr,
+                static_cast<std::int64_t>(move.spinCycle));
+    }
+    if (obs::Forensics *f = net.forensics())
+        f->onProbeReturned(net, router_.id(), ptrInport_, ptrVc_, probe,
+                           now);
 }
 
 void
@@ -343,6 +365,12 @@ SpinUnit::onMoveReturned(const SpecialMsg &sm, PortId inport, Cycle now)
         ++st.movesReturned;
     else
         ++st.probeMovesReturned;
+    if (obs::Tracer *t = router_.network().trace())
+        t->spin(now,
+                sm.type == SmType::Move ? "move_return"
+                                        : "probe_move_return",
+                router_.id(), nullptr,
+                static_cast<std::int64_t>(sm.spinCycle));
 }
 
 void
@@ -377,6 +405,9 @@ SpinUnit::onSpinExecuted(Cycle now)
         state_ = InitState::ProbeMoveWait;
         deadline_ = te + loop_.loopLatency() + 1;
         ++router_.network().stats().probeMovesSent;
+        if (obs::Tracer *t = router_.network().trace())
+            t->spin(te, "probe_move_sent", router_.id(), nullptr,
+                    static_cast<std::int64_t>(pm.spinCycle));
     } else {
         resetDetection(now);
     }

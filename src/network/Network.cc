@@ -1,8 +1,13 @@
 #include "network/Network.hh"
 
+#include <fstream>
+
 #include "common/Logging.hh"
 #include "core/SpinManager.hh"
 #include "deadlock/StaticBubble.hh"
+#include "obs/Forensics.hh"
+#include "obs/Json.hh"
+#include "obs/Tracer.hh"
 #include "routing/RoutingAlgorithm.hh"
 
 namespace spin
@@ -105,6 +110,9 @@ Network::step()
     // 8. SPIN timers.
     if (spinMgr_)
         spinMgr_->fsmTick(now);
+
+    if (samplers_)
+        samplers_->tick(now);
 
     clock_.tick();
 }
@@ -210,6 +218,79 @@ Network::linkUsage() const
     const std::uint64_t used = u.flitCycles + u.probeCycles + u.moveCycles;
     u.idleCycles = u.totalCycles > used ? u.totalCycles - used : 0;
     return u;
+}
+
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+void
+Network::setTracer(std::unique_ptr<obs::Tracer> tracer)
+{
+    tracer_ = std::move(tracer);
+}
+
+obs::NetworkSamplers &
+Network::enableSampling(const obs::SamplerConfig &cfg)
+{
+    samplers_ = std::make_unique<obs::NetworkSamplers>(*this, cfg);
+    return *samplers_;
+}
+
+obs::Forensics &
+Network::enableForensics(std::size_t max_records)
+{
+    forensics_ = std::make_unique<obs::Forensics>(max_records);
+    return *forensics_;
+}
+
+obs::JsonValue
+Network::telemetryJson() const
+{
+    obs::JsonValue root = obs::JsonValue::object();
+
+    obs::JsonValue config = obs::JsonValue::object();
+    config.set("name", obs::JsonValue(cfg_.name));
+    config.set("scheme", obs::JsonValue(toString(cfg_.scheme)));
+    config.set("routing", obs::JsonValue(routing_->name()));
+    config.set("vnets", obs::JsonValue(cfg_.vnets));
+    config.set("vcsPerVnet", obs::JsonValue(cfg_.vcsPerVnet));
+    config.set("vcDepth", obs::JsonValue(cfg_.vcDepth));
+    config.set("tDd", obs::JsonValue(cfg_.tDd));
+    config.set("seed", obs::JsonValue(cfg_.seed));
+    config.set("numRouters", obs::JsonValue(numRouters()));
+    config.set("numNodes", obs::JsonValue(numNodes()));
+    config.set("numLinks", obs::JsonValue(numLinks()));
+    root.set("config", std::move(config));
+
+    root.set("cycle", obs::JsonValue(clock_.now()));
+    root.set("packetsInFlight", obs::JsonValue(inFlight_));
+    root.set("stats", stats_.toJson());
+
+    const LinkUsage u = linkUsage();
+    obs::JsonValue lu = obs::JsonValue::object();
+    lu.set("flitCycles", obs::JsonValue(u.flitCycles));
+    lu.set("probeCycles", obs::JsonValue(u.probeCycles));
+    lu.set("moveCycles", obs::JsonValue(u.moveCycles));
+    lu.set("idleCycles", obs::JsonValue(u.idleCycles));
+    lu.set("totalCycles", obs::JsonValue(u.totalCycles));
+    root.set("linkUsage", std::move(lu));
+
+    if (samplers_)
+        root.set("samplers", samplers_->toJson());
+    if (forensics_)
+        root.set("forensics", forensics_->toJson());
+    return root;
+}
+
+bool
+Network::dumpTelemetry(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << telemetryJson().dump(2) << '\n';
+    return static_cast<bool>(os);
 }
 
 } // namespace spin

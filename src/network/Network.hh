@@ -21,6 +21,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/Config.hh"
@@ -29,6 +30,7 @@
 #include "common/Types.hh"
 #include "network/Link.hh"
 #include "network/Nic.hh"
+#include "obs/Samplers.hh"
 #include "router/Router.hh"
 #include "sim/Clock.hh"
 #include "stats/Stats.hh"
@@ -36,6 +38,13 @@
 
 namespace spin
 {
+
+namespace obs
+{
+class Tracer;
+class Forensics;
+class JsonValue;
+} // namespace obs
 
 class RoutingAlgorithm;
 class SpinManager;
@@ -142,6 +151,36 @@ class Network
     LinkUsage linkUsage() const;
     /// @}
 
+    /// @name Observability (src/obs)
+    /// @{
+    /**
+     * Active tracer, nullptr when tracing is disabled. Instrumentation
+     * hooks branch on this pointer -- the null fast path is the whole
+     * cost of disabled tracing.
+     */
+    obs::Tracer *trace() { return tracer_.get(); }
+    /** Attach (or, with nullptr, detach) a tracer. */
+    void setTracer(std::unique_ptr<obs::Tracer> tracer);
+
+    /** Active samplers, nullptr until enableSampling(). */
+    obs::NetworkSamplers *samplers() { return samplers_.get(); }
+    const obs::NetworkSamplers *samplers() const { return samplers_.get(); }
+    /** Start periodic sampling; replaces any previous sampler set. */
+    obs::NetworkSamplers &enableSampling(const obs::SamplerConfig &cfg = {});
+
+    /** Active forensics recorder, nullptr until enableForensics(). */
+    obs::Forensics *forensics() { return forensics_.get(); }
+    const obs::Forensics *forensics() const { return forensics_.get(); }
+    /** Start capturing loop snapshots on probe return / oracle report. */
+    obs::Forensics &enableForensics(std::size_t max_records = 64);
+
+    /** Everything machine-readable in one document: config, cycle,
+     *  stats, link usage, sampler series, forensic snapshots. */
+    obs::JsonValue telemetryJson() const;
+    /** Write telemetryJson() to @p path. @return false on I/O error. */
+    bool dumpTelemetry(const std::string &path) const;
+    /// @}
+
   private:
     std::shared_ptr<const Topology> topo_;
     NetworkConfig cfg_;
@@ -161,6 +200,10 @@ class Network
 
     std::unique_ptr<SpinManager> spinMgr_;
     std::vector<std::unique_ptr<StaticBubbleUnit>> bubbles_;
+
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::NetworkSamplers> samplers_;
+    std::unique_ptr<obs::Forensics> forensics_;
 
     std::function<void(const PacketPtr &)> ejectListener_;
     PacketId nextPacketId_ = 1;

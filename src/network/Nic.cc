@@ -2,6 +2,7 @@
 
 #include "common/Logging.hh"
 #include "network/Network.hh"
+#include "obs/Tracer.hh"
 #include "routing/RoutingAlgorithm.hh"
 
 namespace spin
@@ -39,6 +40,9 @@ Nic::drainWires(Cycle now)
         if (f.isTail()) {
             f.pkt->ejectCycle = now;
             net_.stats().onEject(*f.pkt);
+            if (obs::Tracer *t = net_.trace())
+                t->flit(now, "eject", router_, *f.pkt, port_, kInvalidId,
+                        f.pkt->latency(), f.pkt->hops);
             net_.notifyEjected(f.pkt);
         }
     }
@@ -82,6 +86,8 @@ Nic::injectStep(Cycle now)
     if (f.isHead()) {
         f.pkt->injectCycle = now;
         ++st.packetsInjected;
+        if (obs::Tracer *t = net_.trace())
+            t->flit(now, "inject", router_, *f.pkt, port_, curVc_);
     }
     ++st.flitsInjected;
 

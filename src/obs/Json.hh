@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Minimal self-contained JSON document model: an ordered value tree
+ * with a writer (dump) and a strict recursive-descent parser. Exists so
+ * telemetry export (Stats::toJson, trace sinks, Network::dumpTelemetry)
+ * and its round-trip tests need no external dependency.
+ */
+
+#ifndef SPINNOC_OBS_JSON_HH
+#define SPINNOC_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spin::obs
+{
+
+/**
+ * One JSON value. Objects preserve insertion order so dumped telemetry
+ * is stable across runs (and diffs cleanly). Numbers are stored as
+ * doubles; integral values are dumped without a decimal point, which
+ * round-trips every counter below 2^53 exactly.
+ */
+class JsonValue
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+    JsonValue(double d) : type_(Type::Number), num_(d) {}
+    JsonValue(int i) : type_(Type::Number), num_(i) {}
+    JsonValue(std::int64_t i)
+        : type_(Type::Number), num_(static_cast<double>(i)) {}
+    JsonValue(std::uint64_t u)
+        : type_(Type::Number), num_(static_cast<double>(u)) {}
+    JsonValue(const char *s) : type_(Type::String), str_(s) {}
+    JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static JsonValue array() { return JsonValue(Type::Array); }
+    static JsonValue object() { return JsonValue(Type::Object); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    std::uint64_t asU64() const { return static_cast<std::uint64_t>(num_); }
+    const std::string &asString() const { return str_; }
+
+    /// @name Array access
+    /// @{
+    std::size_t size() const
+    {
+        return type_ == Type::Array ? arr_.size() : members_.size();
+    }
+    const JsonValue &at(std::size_t i) const { return arr_[i]; }
+    JsonValue &push(JsonValue v)
+    {
+        arr_.push_back(std::move(v));
+        return arr_.back();
+    }
+    /// @}
+
+    /// @name Object access (insertion-ordered)
+    /// @{
+    JsonValue &set(const std::string &key, JsonValue v)
+    {
+        for (auto &m : members_) {
+            if (m.first == key) {
+                m.second = std::move(v);
+                return m.second;
+            }
+        }
+        members_.emplace_back(key, std::move(v));
+        return members_.back().second;
+    }
+    /** @return the member value, or nullptr when absent. */
+    const JsonValue *find(const std::string &key) const
+    {
+        for (const auto &m : members_) {
+            if (m.first == key)
+                return &m.second;
+        }
+        return nullptr;
+    }
+    JsonValue *find(const std::string &key)
+    {
+        for (auto &m : members_) {
+            if (m.first == key)
+                return &m.second;
+        }
+        return nullptr;
+    }
+    /** Member value by key; a shared Null when absent. */
+    const JsonValue &operator[](const std::string &key) const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+    std::vector<std::pair<std::string, JsonValue>> &members()
+    {
+        return members_;
+    }
+    /// @}
+
+    /** Serialize. @p indent 0 emits one compact line; > 0 pretty-prints. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text. On failure returns Null and, when @p err is given,
+     * stores a message with the byte offset of the problem.
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *err = nullptr);
+
+    /** Escape @p s as the *inside* of a JSON string literal. */
+    static std::string escape(const std::string &s);
+
+  private:
+    explicit JsonValue(Type t) : type_(t) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace spin::obs
+
+#endif // SPINNOC_OBS_JSON_HH

@@ -1,0 +1,98 @@
+#include "obs/Samplers.hh"
+
+#include "network/Network.hh"
+#include "router/Router.hh"
+
+namespace spin::obs
+{
+
+JsonValue
+RingSeries::toJson() const
+{
+    JsonValue cycles = JsonValue::array();
+    JsonValue values = JsonValue::array();
+    for (std::size_t i = 0; i < size(); ++i) {
+        const auto [t, v] = at(i);
+        cycles.push(JsonValue(t));
+        values.push(JsonValue(v));
+    }
+    JsonValue obj = JsonValue::object();
+    obj.set("cycles", std::move(cycles));
+    obj.set("values", std::move(values));
+    return obj;
+}
+
+NetworkSamplers::NetworkSamplers(Network &net, const SamplerConfig &cfg)
+    : net_(net), cfg_(cfg)
+{
+    const int nr = net.numRouters();
+    const int nl = net.numLinks();
+    occ_.assign(static_cast<std::size_t>(nr), RingSeries(cfg.capacity));
+    stalls_.assign(static_cast<std::size_t>(nr), RingSeries(cfg.capacity));
+    linkUtil_.assign(static_cast<std::size_t>(nl),
+                     RingSeries(cfg.capacity));
+    lastStalls_.assign(static_cast<std::size_t>(nr), 0);
+    lastLinkUses_.assign(static_cast<std::size_t>(nl), 0);
+}
+
+void
+NetworkSamplers::tick(Cycle now)
+{
+    if (now == 0 || now % cfg_.period != 0)
+        return;
+    ++samples_;
+
+    const int nr = net_.numRouters();
+    const int vcs = net_.config().totalVcs();
+    for (RouterId r = 0; r < nr; ++r) {
+        const Router &rt = net_.router(r);
+        int flits = 0;
+        for (PortId p = 0; p < rt.radix(); ++p) {
+            const InputUnit &iu = rt.input(p);
+            for (VcId v = 0; v < vcs; ++v)
+                flits += iu.vc(v).size();
+        }
+        occ_[static_cast<std::size_t>(r)].push(now, flits);
+
+        const std::uint64_t cum = rt.creditStallCycles();
+        stalls_[static_cast<std::size_t>(r)].push(
+            now, double(cum - lastStalls_[static_cast<std::size_t>(r)]));
+        lastStalls_[static_cast<std::size_t>(r)] = cum;
+    }
+
+    for (int li = 0; li < net_.numLinks(); ++li) {
+        const Link &l = net_.link(li);
+        const std::uint64_t cum =
+            l.flitUses() + l.probeUses() + l.moveUses();
+        const auto i = static_cast<std::size_t>(li);
+        // beginMeasurement() resets the cumulative link counters; a
+        // negative delta marks that boundary -- restart the window.
+        const std::uint64_t delta =
+            cum >= lastLinkUses_[i] ? cum - lastLinkUses_[i] : cum;
+        lastLinkUses_[i] = cum;
+        linkUtil_[i].push(now, double(delta) / double(cfg_.period));
+    }
+}
+
+JsonValue
+NetworkSamplers::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    root.set("period", JsonValue(cfg_.period));
+    root.set("capacity",
+             JsonValue(static_cast<std::uint64_t>(cfg_.capacity)));
+    root.set("samplesTaken", JsonValue(samples_));
+
+    const auto seriesMap = [](const std::vector<RingSeries> &all) {
+        JsonValue arr = JsonValue::array();
+        for (const RingSeries &s : all)
+            arr.push(s.toJson());
+        return arr;
+    };
+    root.set("routerOccupancy", seriesMap(occ_));
+    root.set("routerCreditStalls", seriesMap(stalls_));
+    root.set("linkUtilization", seriesMap(linkUtil_));
+    return root;
+}
+
+} // namespace spin::obs

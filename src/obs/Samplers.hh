@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Periodic telemetry samplers: per-router buffer occupancy and
+ * credit-stall cycles, and per-link utilization, captured every
+ * `period` cycles into fixed-capacity ring-buffered time series. This
+ * is the data source for Fig. 8b-style utilization plots and for the
+ * VC-occupancy analyses the HOTI'25 VC-management study relies on.
+ *
+ * Sampling is pull-based: nothing is touched on the per-cycle fast path
+ * except one branch in Network::step() (and, for the credit-stall
+ * counter, one branch in Router::allocateSwitch()) while sampling is
+ * enabled.
+ */
+
+#ifndef SPINNOC_OBS_SAMPLERS_HH
+#define SPINNOC_OBS_SAMPLERS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/Types.hh"
+#include "obs/Json.hh"
+
+namespace spin
+{
+class Network;
+}
+
+namespace spin::obs
+{
+
+/** Sampler parameters. */
+struct SamplerConfig
+{
+    /** Cycles between samples. */
+    Cycle period = 64;
+    /** Samples retained per series; older samples are overwritten. */
+    std::size_t capacity = 4096;
+};
+
+/** Fixed-capacity (cycle, value) ring buffer, oldest-first iteration. */
+class RingSeries
+{
+  public:
+    explicit RingSeries(std::size_t capacity) : cap_(capacity) {}
+
+    void
+    push(Cycle t, double v)
+    {
+        if (buf_.size() < cap_) {
+            buf_.emplace_back(t, v);
+        } else {
+            buf_[head_] = {t, v};
+            head_ = (head_ + 1) % cap_;
+        }
+        ++total_;
+    }
+
+    /** Samples currently retained. */
+    std::size_t size() const { return buf_.size(); }
+    /** Samples ever pushed (>= size() once the ring wraps). */
+    std::uint64_t total() const { return total_; }
+
+    /** i-th retained sample, oldest first. */
+    std::pair<Cycle, double>
+    at(std::size_t i) const
+    {
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    double back() const { return at(buf_.size() - 1).second; }
+
+    /** {"cycles":[...],"values":[...]} */
+    JsonValue toJson() const;
+
+  private:
+    std::size_t cap_;
+    std::size_t head_ = 0;
+    std::uint64_t total_ = 0;
+    std::vector<std::pair<Cycle, double>> buf_;
+};
+
+/** See file comment. Owned by the Network; created by enableSampling. */
+class NetworkSamplers
+{
+  public:
+    NetworkSamplers(Network &net, const SamplerConfig &cfg);
+
+    const SamplerConfig &config() const { return cfg_; }
+
+    /** Called by Network::step() every cycle; samples on period ticks. */
+    void tick(Cycle now);
+
+    /// @name Series access
+    /// @{
+    /** Flits buffered across all input VCs of router @p r. */
+    const RingSeries &routerOccupancy(RouterId r) const { return occ_[r]; }
+    /** Credit-stall cycles of router @p r in each sample window. */
+    const RingSeries &routerCreditStalls(RouterId r) const
+    {
+        return stalls_[r];
+    }
+    /** Busy fraction [0,1] of link @p idx in each sample window
+     *  (flit + probe + move traversal cycles over the period). */
+    const RingSeries &linkUtilization(int idx) const
+    {
+        return linkUtil_[static_cast<std::size_t>(idx)];
+    }
+    std::uint64_t samplesTaken() const { return samples_; }
+    /// @}
+
+    /** Full dump: config + every series, keyed by router/link id. */
+    JsonValue toJson() const;
+
+  private:
+    Network &net_;
+    SamplerConfig cfg_;
+    std::vector<RingSeries> occ_;
+    std::vector<RingSeries> stalls_;
+    std::vector<RingSeries> linkUtil_;
+    /** Previous cumulative counters, for per-window deltas. */
+    std::vector<std::uint64_t> lastStalls_;
+    std::vector<std::uint64_t> lastLinkUses_;
+    std::uint64_t samples_ = 0;
+};
+
+} // namespace spin::obs
+
+#endif // SPINNOC_OBS_SAMPLERS_HH

@@ -1,0 +1,221 @@
+#include "obs/Tracer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/Json.hh"
+
+namespace spin::obs
+{
+
+const char *
+categoryName(std::uint32_t cat)
+{
+    if (cat & kCatFlit)
+        return "flit";
+    if (cat & kCatSpin)
+        return "spin";
+    if (cat & kCatLink)
+        return "link";
+    if (cat & kCatSample)
+        return "sample";
+    if (cat & kCatForensic)
+        return "forensic";
+    return "other";
+}
+
+std::uint32_t
+parseCategoryMask(const char *list)
+{
+    if (!list || !*list)
+        return kCatAll;
+    std::uint32_t mask = 0;
+    const char *p = list;
+    while (*p) {
+        const char *comma = std::strchr(p, ',');
+        const std::size_t n = comma ? static_cast<std::size_t>(comma - p)
+                                    : std::strlen(p);
+        const auto is = [&](const char *name) {
+            return n == std::strlen(name) && std::strncmp(p, name, n) == 0;
+        };
+        if (is("all"))
+            mask |= kCatAll;
+        else if (is("flit"))
+            mask |= kCatFlit;
+        else if (is("spin"))
+            mask |= kCatSpin;
+        else if (is("link"))
+            mask |= kCatLink;
+        else if (is("sample"))
+            mask |= kCatSample;
+        else if (is("forensic"))
+            mask |= kCatForensic;
+        p = comma ? comma + 1 : p + n;
+    }
+    return mask ? mask : kCatAll;
+}
+
+// ---------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------
+
+std::unique_ptr<JsonlSink>
+JsonlSink::open(const std::string &path)
+{
+    auto sink = std::unique_ptr<JsonlSink>(new JsonlSink());
+    sink->own_.open(path);
+    if (!sink->own_)
+        return nullptr;
+    sink->os_ = &sink->own_;
+    return sink;
+}
+
+void
+JsonlSink::write(const TraceEvent &e)
+{
+    std::ostream &os = *os_;
+    os << "{\"t\":" << e.cycle << ",\"cat\":\""
+       << categoryName(e.category) << "\",\"ev\":\"" << e.name << '"';
+    if (e.router != kInvalidId)
+        os << ",\"router\":" << e.router;
+    if (e.packet != 0)
+        os << ",\"pkt\":" << e.packet;
+    if (e.port != kInvalidId)
+        os << ",\"port\":" << e.port;
+    if (e.vc != kInvalidId)
+        os << ",\"vc\":" << e.vc;
+    if (e.arg0 != -1)
+        os << ",\"a0\":" << e.arg0;
+    if (e.arg1 != -1)
+        os << ",\"a1\":" << e.arg1;
+    if (e.detail)
+        os << ",\"detail\":\"" << JsonValue::escape(e.detail) << '"';
+    os << "}\n";
+}
+
+// ---------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(&os)
+{
+    begin();
+}
+
+std::unique_ptr<ChromeTraceSink>
+ChromeTraceSink::open(const std::string &path)
+{
+    auto sink = std::unique_ptr<ChromeTraceSink>(new ChromeTraceSink());
+    sink->own_.open(path);
+    if (!sink->own_)
+        return nullptr;
+    sink->os_ = &sink->own_;
+    sink->begin();
+    return sink;
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    finish();
+}
+
+void
+ChromeTraceSink::begin()
+{
+    *os_ << "{\"traceEvents\":[";
+}
+
+void
+ChromeTraceSink::write(const TraceEvent &e)
+{
+    if (finished_)
+        return;
+    std::ostream &os = *os_;
+    if (!first_)
+        os << ",";
+    first_ = false;
+    // One complete slice per event; router id as the thread track so
+    // each router gets its own swimlane in the viewer.
+    os << "\n{\"name\":\"" << e.name << "\",\"cat\":\""
+       << categoryName(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.cycle
+       << ",\"dur\":1,\"pid\":0,\"tid\":"
+       << (e.router != kInvalidId ? e.router : -1) << ",\"args\":{";
+    bool first_arg = true;
+    const auto arg = [&](const char *key, std::int64_t v) {
+        if (!first_arg)
+            os << ",";
+        first_arg = false;
+        os << '"' << key << "\":" << v;
+    };
+    if (e.packet != 0)
+        arg("pkt", static_cast<std::int64_t>(e.packet));
+    if (e.port != kInvalidId)
+        arg("port", e.port);
+    if (e.vc != kInvalidId)
+        arg("vc", e.vc);
+    if (e.arg0 != -1)
+        arg("a0", e.arg0);
+    if (e.arg1 != -1)
+        arg("a1", e.arg1);
+    if (e.detail) {
+        if (!first_arg)
+            os << ",";
+        first_arg = false;
+        os << "\"detail\":\"" << JsonValue::escape(e.detail) << '"';
+    }
+    os << "}}";
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (finished_ || !os_)  // os_ is null when open() failed
+        return;
+    finished_ = true;
+    *os_ << "\n],\"displayTimeUnit\":\"ns\"}\n";
+    os_->flush();
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+Tracer::Tracer(std::unique_ptr<TraceSink> sink,
+               std::uint32_t category_mask)
+    : sink_(std::move(sink)), mask_(category_mask)
+{
+}
+
+Tracer::~Tracer()
+{
+    if (sink_)
+        sink_->flush();
+}
+
+void
+Tracer::restrictRouters(const std::vector<RouterId> &routers)
+{
+    routerAllowed_.clear();
+    routerFilterOn_ = !routers.empty();
+    if (!routerFilterOn_)
+        return;
+    const RouterId top = *std::max_element(routers.begin(), routers.end());
+    routerAllowed_.assign(static_cast<std::size_t>(top) + 1, 0);
+    for (const RouterId r : routers) {
+        if (r >= 0)
+            routerAllowed_[static_cast<std::size_t>(r)] = 1;
+    }
+}
+
+void
+Tracer::record(const TraceEvent &e)
+{
+    if (!wants(e.category, e.router)) {
+        ++filtered_;
+        return;
+    }
+    ++recorded_;
+    sink_->write(e);
+}
+
+} // namespace spin::obs

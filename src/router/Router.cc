@@ -3,6 +3,7 @@
 #include "common/Logging.hh"
 #include "core/SpinUnit.hh"
 #include "network/Network.hh"
+#include "obs/Tracer.hh"
 #include "routing/RoutingAlgorithm.hh"
 #include "routing/WestFirst.hh"
 
@@ -169,6 +170,9 @@ Router::tryVcAllocation(PortId inport, VcId vcid)
     if (granted != kInvalidId) {
         vc.grantedVc = granted;
         algo.onVcGranted(pkt, *this, vc.request, granted);
+        if (obs::Tracer *t = net_.trace())
+            t->flit(net_.now(), "vc_alloc", id_, pkt, inport, vcid,
+                    vc.request, granted);
     }
 }
 
@@ -198,6 +202,9 @@ Router::allocateSwitch()
 {
     const Cycle now = net_.now();
     const int n = radix();
+
+    if (net_.samplers())
+        countCreditStalls(now);
 
     // Stage 1: one candidate VC per input port (round-robin).
     scratchPorts_.assign(n, kInvalidId); // reused as per-inport winner vc
@@ -264,6 +271,42 @@ Router::sendFlit(PortId inport, VcId vcid)
     if (f.isHead() && !out.toNic()) {
         ++pkt->hops;
         net_.routing().onHop(*pkt, *this, outport);
+    }
+
+    if (obs::Tracer *t = net_.trace()) {
+        t->flit(now, "sa_grant", id_, *pkt, inport, vcid, outport, dvc);
+        if (!out.toNic()) {
+            obs::TraceEvent e;
+            e.cycle = now;
+            e.category = obs::kCatLink;
+            e.name = "link_traverse";
+            e.router = id_;
+            e.packet = pkt->id;
+            e.port = outport;
+            e.vc = dvc;
+            e.arg0 = net_.linkIndexOf(id_, outport);
+            e.arg1 = f.seq;
+            t->record(e);
+        }
+    }
+}
+
+void
+Router::countCreditStalls(Cycle now)
+{
+    for (PortId inport = 0; inport < radix(); ++inport) {
+        InputUnit &iu = inputs_[inport];
+        for (VcId v = 0; v < iu.numVcs(); ++v) {
+            const VirtualChannel &vc = iu.vc(v);
+            if (vc.empty() || vc.frozen || !vc.routeValid ||
+                vc.grantedVc == kInvalidId) {
+                continue;
+            }
+            if (vc.front().arrivedAt >= now)
+                continue;
+            if (outputs_[vc.request].credits(vc.grantedVc) <= 0)
+                ++creditStalls_;
+        }
     }
 }
 
@@ -345,6 +388,10 @@ Router::forceSend(PortId inport, VcId vcid, PortId outport, VcId down_vc,
 
     if (spin_)
         spin_->onFlitDeparture(inport, vcid);
+
+    if (obs::Tracer *t = net_.trace())
+        t->flit(now, "spin_rotate", id_, *pkt, inport, vcid, outport,
+                down_vc);
 }
 
 void
@@ -366,6 +413,9 @@ Router::grantReserved(PortId inport, VcId vcid, PortId outport,
     vc.grantedVc = got;
     pkt.onEscape = true;
     ++net_.stats().bubbleRecoveries;
+
+    if (obs::Tracer *t = net_.trace())
+        t->spin(net_.now(), "bubble_grant", id_, nullptr, inport, vcid);
 }
 
 } // namespace spin

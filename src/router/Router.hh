@@ -104,6 +104,12 @@ class Router
     void grantReserved(PortId inport, VcId vc, PortId outport,
                        VcId down_vc);
 
+    /**
+     * Cycles any granted head VC sat blocked purely on credits.
+     * Only accumulated while the network's samplers are enabled.
+     */
+    std::uint64_t creditStallCycles() const { return creditStalls_; }
+
   private:
     Network &net_;
     RouterId id_;
@@ -114,6 +120,9 @@ class Router
 
     /** Per-outport round-robin pointer over input ports (SA stage 2). */
     std::vector<PortId> outRr_;
+
+    /** See creditStallCycles(). */
+    std::uint64_t creditStalls_ = 0;
 
     // Scratch buffers reused across cycles to avoid allocation churn.
     mutable std::vector<PortId> scratchPorts_;
@@ -129,6 +138,8 @@ class Router
     bool readyToSend(PortId inport, VcId vcid, Cycle now) const;
     /** Move one flit out: pop, credits, link push, hooks. */
     void sendFlit(PortId inport, VcId vcid);
+    /** Accumulate credit-stall telemetry (samplers enabled only). */
+    void countCreditStalls(Cycle now);
     /** Send one credit upstream for a flit popped from (inport, vc). */
     void creditUpstream(PortId inport, VcId vcid, bool is_free);
 };

@@ -86,4 +86,70 @@ Stats::throughput(int num_nodes, Cycle now) const
     return double(flitsEjected) / double(num_nodes) / double(elapsed);
 }
 
+obs::JsonValue
+Stats::toJson() const
+{
+    using obs::JsonValue;
+    JsonValue o = JsonValue::object();
+
+    JsonValue traffic = JsonValue::object();
+    traffic.set("packetsCreated", JsonValue(packetsCreated));
+    traffic.set("packetsInjected", JsonValue(packetsInjected));
+    traffic.set("packetsEjected", JsonValue(packetsEjected));
+    traffic.set("flitsCreated", JsonValue(flitsCreated));
+    traffic.set("flitsInjected", JsonValue(flitsInjected));
+    traffic.set("flitsEjected", JsonValue(flitsEjected));
+    traffic.set("latencySum", JsonValue(latencySum));
+    traffic.set("netLatencySum", JsonValue(netLatencySum));
+    traffic.set("hopsSum", JsonValue(hopsSum));
+    traffic.set("maxLatency", JsonValue(maxLatency));
+    traffic.set("spinsOfEjected", JsonValue(spinsOfEjected));
+    JsonValue hist = JsonValue::array();
+    for (const std::uint64_t b : latencyHist)
+        hist.push(JsonValue(b));
+    traffic.set("latencyHist", std::move(hist));
+    o.set("traffic", std::move(traffic));
+
+    JsonValue sp = JsonValue::object();
+    sp.set("probesSent", JsonValue(probesSent));
+    sp.set("probesForked", JsonValue(probesForked));
+    sp.set("probesDropped", JsonValue(probesDropped));
+    sp.set("probesReturned", JsonValue(probesReturned));
+    JsonValue drops = JsonValue::object();
+    drops.set("priority", JsonValue(probeDropPriority));
+    drops.set("inactive", JsonValue(probeDropInactive));
+    drops.set("noDep", JsonValue(probeDropNoDep));
+    drops.set("hops", JsonValue(probeDropHops));
+    drops.set("stale", JsonValue(probeDropStale));
+    sp.set("probeDropReasons", std::move(drops));
+    sp.set("movesSent", JsonValue(movesSent));
+    sp.set("movesDropped", JsonValue(movesDropped));
+    sp.set("movesReturned", JsonValue(movesReturned));
+    sp.set("probeMovesSent", JsonValue(probeMovesSent));
+    sp.set("probeMovesDropped", JsonValue(probeMovesDropped));
+    sp.set("probeMovesReturned", JsonValue(probeMovesReturned));
+    sp.set("killMovesSent", JsonValue(killMovesSent));
+    sp.set("smContentionDrops", JsonValue(smContentionDrops));
+    sp.set("spins", JsonValue(spins));
+    sp.set("falsePositiveSpins", JsonValue(falsePositiveSpins));
+    sp.set("spinsCancelled", JsonValue(spinsCancelled));
+    sp.set("packetsRotated", JsonValue(packetsRotated));
+    o.set("spin", std::move(sp));
+
+    JsonValue base = JsonValue::object();
+    base.set("bubbleRecoveries", JsonValue(bubbleRecoveries));
+    o.set("baseline", std::move(base));
+
+    JsonValue derived = JsonValue::object();
+    derived.set("avgLatency", JsonValue(avgLatency()));
+    derived.set("avgNetLatency", JsonValue(avgNetLatency()));
+    derived.set("avgHops", JsonValue(avgHops()));
+    derived.set("p50Latency", JsonValue(latencyPercentile(0.5)));
+    derived.set("p99Latency", JsonValue(latencyPercentile(0.99)));
+    o.set("derived", std::move(derived));
+
+    o.set("windowStart", JsonValue(windowStart));
+    return o;
+}
+
 } // namespace spin

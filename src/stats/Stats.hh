@@ -13,6 +13,7 @@
 
 #include "common/Packet.hh"
 #include "common/Types.hh"
+#include "obs/Json.hh"
 
 namespace spin
 {
@@ -99,6 +100,14 @@ class Stats
     /** Received throughput in flits/node/cycle over the window. */
     double throughput(int num_nodes, Cycle now) const;
     /// @}
+
+    /**
+     * Machine-readable export: every counter above plus the derived
+     * averages and the raw latency histogram, as an ordered JSON
+     * object. Round-trips through obs::JsonValue::parse exactly for
+     * counters below 2^53 (all of them, in practice).
+     */
+    obs::JsonValue toJson() const;
 };
 
 } // namespace spin
