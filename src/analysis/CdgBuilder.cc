@@ -1,0 +1,178 @@
+#include "analysis/CdgBuilder.hh"
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+
+namespace spin::analysis
+{
+
+namespace
+{
+
+/** Pack a (channel, state) pair into one 64-bit visited-set key. */
+struct KeyPacker
+{
+    // Field widths; asserted against the instance in the builder.
+    static constexpr int kLinkBits = 20;
+    static constexpr int kVcBits = 6;
+    static constexpr int kRouterBits = 13;
+    static constexpr int kGhBits = 4;
+
+    static std::uint64_t
+    pack(int link, VcId vc, const RouteState &s)
+    {
+        std::uint64_t k = static_cast<std::uint64_t>(link);
+        k = (k << kVcBits) | static_cast<std::uint64_t>(vc);
+        k = (k << kRouterBits) | static_cast<std::uint64_t>(s.target);
+        k = (k << kRouterBits) | static_cast<std::uint64_t>(s.dest);
+        k = (k << kGhBits) | static_cast<std::uint64_t>(s.globalHops);
+        k = (k << 1) | static_cast<std::uint64_t>(s.onEscape);
+        k = (k << 1) | static_cast<std::uint64_t>(s.misrouting);
+        return k;
+    }
+};
+
+struct Pending
+{
+    int node;
+    RouteState state;
+};
+
+} // namespace
+
+Cdg
+CdgBuilder::build(VnetId vnet, std::uint64_t max_states) const
+{
+    const Topology &topo = net_.topo();
+    const RoutingAlgorithm &algo = net_.routing();
+    const int nr = topo.numRouters();
+    const int numLinks = static_cast<int>(topo.links().size());
+
+    SPIN_ASSERT(numLinks < (1 << KeyPacker::kLinkBits),
+                "topology too large for CDG key packing");
+    SPIN_ASSERT(nr < (1 << KeyPacker::kRouterBits),
+                "topology too large for CDG key packing");
+    SPIN_ASSERT(net_.config().totalVcs() < (1 << KeyPacker::kVcBits),
+                "VC count too large for CDG key packing");
+
+    Cdg cdg;
+    cdg.vcStride = net_.config().totalVcs();
+    cdg.vnet = vnet;
+    const int numNodes = numLinks * cdg.vcStride;
+    cdg.graph = Digraph(numNodes);
+    cdg.nodeUsed.assign(numNodes, 0);
+    cdg.nodeEscape.assign(numNodes, 0);
+
+    std::vector<VcId> escape;
+    algo.escapeVcs(vnet, escape);
+    cdg.escapeDeclared = !escape.empty();
+    std::vector<char> escapeVc(cdg.vcStride, 0);
+    for (const VcId v : escape)
+        escapeVc[v] = 1;
+    for (int l = 0; l < numLinks; ++l) {
+        for (VcId v = 0; v < cdg.vcStride; ++v)
+            cdg.nodeEscape[cdg.nodeOf(l, v)] = escapeVc[v];
+    }
+
+    std::unordered_set<std::uint64_t> visited;
+    std::unordered_set<std::uint64_t> edges;
+    std::deque<Pending> queue;
+    std::vector<RouteState> inits;
+    std::vector<RouteHop> hops;
+
+    const auto nodeOfHop = [&](const RouteState &s, const RouteHop &h) {
+        const int link = net_.linkIndexOf(s.router, h.outport);
+        SPIN_ASSERT(link >= 0, "hop over unwired port ", h.outport,
+                    " of router ", s.router);
+        return cdg.nodeOf(link, h.vc);
+    };
+
+    const auto enqueue = [&](int node, const RouteState &s) {
+        if (visited.insert(KeyPacker::pack(cdg.linkOf(node),
+                                           cdg.vcOf(node), s))
+                .second) {
+            queue.push_back({node, s});
+        }
+    };
+
+    // Seed: every (src, dest) pair's initial states. The injection
+    // queue itself holds no network channel, so seeding adds nodes but
+    // no edges.
+    for (RouterId src = 0; src < nr && !cdg.truncated; ++src) {
+        for (RouterId dest = 0; dest < nr; ++dest) {
+            if (src == dest)
+                continue;
+            algo.initialStates(src, dest, vnet, inits);
+            for (const RouteState &s : inits) {
+                algo.enumerateHops(s, hops);
+                for (const RouteHop &h : hops) {
+                    const int node = nodeOfHop(s, h);
+                    cdg.nodeUsed[node] = 1;
+                    enqueue(node, h.next);
+                }
+            }
+            if (visited.size() > max_states) {
+                cdg.truncated = true;
+                break;
+            }
+        }
+    }
+
+    // Reachability sweep: each visited (channel, state) pair asks the
+    // routing function what it may demand next.
+    while (!queue.empty() && !cdg.truncated) {
+        const Pending cur = queue.front();
+        queue.pop_front();
+        ++cdg.statesVisited;
+
+        algo.enumerateHops(cur.state, hops);
+        if (cdg.escapeDeclared && !cur.state.terminal()) {
+            bool hasEscape = false;
+            bool allEscape = true;
+            for (const RouteHop &h : hops) {
+                if (escapeVc[h.vc])
+                    hasEscape = true;
+                else
+                    allEscape = false;
+            }
+            if (!hasEscape)
+                cdg.escapeAlwaysReachable = false;
+            if (cur.state.onEscape && !allEscape)
+                cdg.escapeClosed = false;
+        }
+        for (const RouteHop &h : hops) {
+            const int node = nodeOfHop(cur.state, h);
+            cdg.nodeUsed[node] = 1;
+            const std::uint64_t ekey =
+                static_cast<std::uint64_t>(cur.node) *
+                    static_cast<std::uint64_t>(numNodes) +
+                static_cast<std::uint64_t>(node);
+            if (edges.insert(ekey).second) {
+                cdg.graph.addEdge(cur.node, node);
+                cdg.edgeWitness.emplace(ekey, cur.state);
+            }
+            enqueue(node, h.next);
+        }
+        if (visited.size() > max_states)
+            cdg.truncated = true;
+    }
+    return cdg;
+}
+
+StaticChannel
+CdgBuilder::channelOf(const Cdg &cdg, int node) const
+{
+    const LinkSpec &l = net_.topo().links()[cdg.linkOf(node)];
+    StaticChannel c;
+    c.src = l.src;
+    c.srcPort = l.srcPort;
+    c.dst = l.dst;
+    c.dstPort = l.dstPort;
+    c.vc = cdg.vcOf(node);
+    return c;
+}
+
+} // namespace spin::analysis

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extended channel-dependency-graph construction (Dally & Seitz
+ * extended to per-VC channels, escape restrictions and misroute / VC
+ * class state, after Verbeek & Schmaltz's observation that deadlock
+ * conditions are decidable from the routing function alone).
+ *
+ * A CDG node is one per-VC channel (link, vc). The builder runs a
+ * breadth-first reachability sweep over abstract packet states
+ * (RoutingAlgorithm::RouteState) seeded from every source/destination
+ * pair, asking the routing function at each state which channels the
+ * packet may demand next (RoutingAlgorithm::enumerateHops). Every
+ * (held channel -> demanded channel) pair becomes a dependency edge,
+ * so the graph honors escape-VC restrictions, VC-class orderings and
+ * reservation schemes exactly as the datapath enforces them -- the
+ * enumeration and the simulator share one code path.
+ */
+
+#ifndef SPINNOC_ANALYSIS_CDGBUILDER_HH
+#define SPINNOC_ANALYSIS_CDGBUILDER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/Digraph.hh"
+#include "common/Types.hh"
+#include "routing/RoutingAlgorithm.hh"
+
+namespace spin
+{
+class Network;
+}
+
+namespace spin::analysis
+{
+
+/** The built graph plus everything the analyzer needs to judge it. */
+struct Cdg
+{
+    /** Dependency graph; node id = link index * vcStride + vc. */
+    Digraph graph;
+    int vcStride = 0;
+    VnetId vnet = 0;
+
+    /** Channel is reachable by some packet (others are dead nodes). */
+    std::vector<char> nodeUsed;
+    /** Channel belongs to the declared escape layer (may be empty). */
+    std::vector<char> nodeEscape;
+
+    /** Routing declared an escape layer (escapeVcs non-empty). */
+    bool escapeDeclared = false;
+    /** Every reachable blocked state had >= 1 hop into the escape
+     *  layer (Duato: escape is always an option). */
+    bool escapeAlwaysReachable = true;
+    /** States already on escape only ever demand escape channels
+     *  (the escape layer is closed under routing). */
+    bool escapeClosed = true;
+
+    /** One state that generated each edge, for independent re-checks;
+     *  key = (uint64) from-node * numNodes + to-node. */
+    std::unordered_map<std::uint64_t, RouteState> edgeWitness;
+
+    std::uint64_t statesVisited = 0;
+    /** Non-zero when the state cap was hit: the graph is incomplete
+     *  and no sound verdict can be given. */
+    bool truncated = false;
+
+    int numNodes() const { return graph.numNodes(); }
+    int nodeOf(int link, VcId vc) const { return link * vcStride + vc; }
+    int linkOf(int node) const { return node / vcStride; }
+    VcId vcOf(int node) const { return node % vcStride; }
+};
+
+/** See file comment. */
+class CdgBuilder
+{
+  public:
+    /** @param net assembled network (topology + routing attached). */
+    explicit CdgBuilder(const Network &net) : net_(net) {}
+
+    /**
+     * Build the CDG for @p vnet. Virtual networks never share VCs, so
+     * one vnet's graph decides deadlock freedom for all of them.
+     *
+     * @param max_states abort threshold for the reachability sweep
+     *        (sets Cdg::truncated instead of looping forever on a
+     *        mis-behaving routing function)
+     */
+    Cdg build(VnetId vnet = 0, std::uint64_t max_states = 1ull << 24) const;
+
+    /** Channel metadata for a node id of a graph built over this net. */
+    StaticChannel channelOf(const Cdg &cdg, int node) const;
+
+  private:
+    const Network &net_;
+};
+
+} // namespace spin::analysis
+
+#endif // SPINNOC_ANALYSIS_CDGBUILDER_HH

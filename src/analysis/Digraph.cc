@@ -1,0 +1,260 @@
+#include "analysis/Digraph.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace spin::analysis
+{
+
+Digraph::Digraph(int num_nodes) : succs_(num_nodes)
+{
+}
+
+void
+Digraph::addEdge(int a, int b)
+{
+    succs_[a].push_back(b);
+    ++numEdges_;
+}
+
+std::vector<std::vector<int>>
+Digraph::nontrivialSccs() const
+{
+    const int n = numNodes();
+    constexpr int kUnvisited = -1;
+    std::vector<int> index(n, kUnvisited);
+    std::vector<int> lowlink(n, 0);
+    std::vector<char> onStack(n, 0);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int nextIndex = 0;
+
+    // Explicit DFS frame: node plus the next successor position.
+    struct Frame
+    {
+        int node;
+        std::size_t succPos;
+    };
+    std::vector<Frame> frames;
+
+    for (int root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        frames.push_back({root, 0});
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const int v = f.node;
+            if (f.succPos == 0) {
+                index[v] = lowlink[v] = nextIndex++;
+                stack.push_back(v);
+                onStack[v] = 1;
+            }
+            bool descended = false;
+            while (f.succPos < succs_[v].size()) {
+                const int w = succs_[v][f.succPos++];
+                if (index[w] == kUnvisited) {
+                    frames.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[w])
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+            if (descended)
+                continue;
+            if (lowlink[v] == index[v]) {
+                std::vector<int> scc;
+                int w;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    onStack[w] = 0;
+                    scc.push_back(w);
+                } while (w != v);
+                bool cyclic = scc.size() > 1;
+                if (!cyclic) {
+                    const auto &sv = succs_[v];
+                    cyclic = std::find(sv.begin(), sv.end(), v) != sv.end();
+                }
+                if (cyclic)
+                    sccs.push_back(std::move(scc));
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                Frame &parent = frames.back();
+                lowlink[parent.node] =
+                    std::min(lowlink[parent.node], lowlink[v]);
+            }
+        }
+    }
+    return sccs;
+}
+
+namespace
+{
+
+/** State of one Johnson enumeration (one start vertex s at a time). */
+struct JohnsonCtx
+{
+    const Digraph &g;
+    std::size_t maxCycles;
+    std::size_t maxLen;
+    int start = 0;
+    std::vector<char> inScc;    //!< node is in the current subgraph
+    std::vector<char> blocked;
+    std::vector<char> onPath;
+    std::vector<std::vector<int>> blockList;
+    std::vector<int> path;
+    std::vector<std::vector<int>> cycles;
+
+    explicit JohnsonCtx(const Digraph &graph, std::size_t max_cycles,
+                        std::size_t max_len)
+        : g(graph), maxCycles(max_cycles), maxLen(max_len),
+          inScc(graph.numNodes(), 0), blocked(graph.numNodes(), 0),
+          onPath(graph.numNodes(), 0), blockList(graph.numNodes())
+    {
+    }
+
+    void unblock(int v)
+    {
+        blocked[v] = 0;
+        for (const int w : blockList[v]) {
+            if (blocked[w])
+                unblock(w);
+        }
+        blockList[v].clear();
+    }
+
+    bool circuit(int v)
+    {
+        bool foundCycle = false;
+        path.push_back(v);
+        blocked[v] = 1;
+        onPath[v] = 1;
+        for (const int w : g.succs(v)) {
+            if (!inScc[w] || w < start)
+                continue;
+            if (cycles.size() >= maxCycles)
+                break;
+            if (w == start) {
+                cycles.push_back(path);
+                foundCycle = true;
+            } else if (!blocked[w] && !onPath[w] && path.size() < maxLen) {
+                // !onPath guards elementarity directly: the maxLen
+                // cutoff makes circuit() fail on nodes that do lie on
+                // a cycle, which poisons the block lists -- a later
+                // unblock cascade can then clear a node that is still
+                // on the path, and Johnson's blocked[] invariant no
+                // longer implies path-disjointness on its own.
+                if (circuit(w))
+                    foundCycle = true;
+            }
+        }
+        onPath[v] = 0;
+        if (foundCycle) {
+            unblock(v);
+        } else {
+            for (const int w : g.succs(v)) {
+                if (!inScc[w] || w < start)
+                    continue;
+                auto &bl = blockList[w];
+                if (std::find(bl.begin(), bl.end(), v) == bl.end())
+                    bl.push_back(v);
+            }
+        }
+        path.pop_back();
+        return foundCycle;
+    }
+};
+
+} // namespace
+
+std::vector<std::vector<int>>
+Digraph::elementaryCycles(std::size_t max_cycles, std::size_t max_len) const
+{
+    JohnsonCtx ctx(*this, max_cycles, max_len);
+    for (const auto &scc : nontrivialSccs()) {
+        if (ctx.cycles.size() >= max_cycles)
+            break;
+        for (const int v : scc)
+            ctx.inScc[v] = 1;
+        // Johnson's vertex order: start from the smallest node of the
+        // SCC upward; nodes below the start are excluded per round.
+        std::vector<int> order(scc);
+        std::sort(order.begin(), order.end());
+        for (const int s : order) {
+            if (ctx.cycles.size() >= max_cycles)
+                break;
+            ctx.start = s;
+            for (const int v : scc) {
+                ctx.blocked[v] = 0;
+                ctx.blockList[v].clear();
+            }
+            ctx.circuit(s);
+        }
+        for (const int v : scc)
+            ctx.inScc[v] = 0;
+    }
+    // Every cycle starts at the smallest node of its round, so
+    // duplicates (possible when the maxLen cutoff poisons the block
+    // lists and a subtree is re-explored) are bitwise-equal vectors.
+    std::sort(ctx.cycles.begin(), ctx.cycles.end());
+    ctx.cycles.erase(std::unique(ctx.cycles.begin(), ctx.cycles.end()),
+                     ctx.cycles.end());
+    return ctx.cycles;
+}
+
+std::vector<int>
+Digraph::shortestCycleIn(const std::vector<int> &scc) const
+{
+    std::vector<char> member(numNodes(), 0);
+    for (const int v : scc)
+        member[v] = 1;
+
+    std::vector<int> best;
+    std::vector<int> parent(numNodes());
+    std::vector<int> dist(numNodes());
+    std::vector<int> queue;
+    for (const int s : scc) {
+        // BFS from s within the SCC; first edge back into s closes a
+        // shortest cycle through s.
+        std::fill(parent.begin(), parent.end(), -1);
+        std::fill(dist.begin(), dist.end(), -1);
+        queue.clear();
+        queue.push_back(s);
+        dist[s] = 0;
+        int closer = -1;
+        for (std::size_t head = 0; head < queue.size() && closer < 0;
+             ++head) {
+            const int v = queue[head];
+            if (!best.empty() &&
+                dist[v] + 1 >= static_cast<int>(best.size())) {
+                break; // cannot beat the current best from here
+            }
+            for (const int w : succs_[v]) {
+                if (w == s) {
+                    closer = v;
+                    break;
+                }
+                if (member[w] && dist[w] < 0) {
+                    dist[w] = dist[v] + 1;
+                    parent[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if (closer < 0)
+            continue;
+        // The parent chain from closer terminates at s, so the
+        // reversed walk is already the full cycle s ... closer.
+        std::vector<int> cycle;
+        for (int v = closer; v != -1; v = parent[v])
+            cycle.push_back(v);
+        std::reverse(cycle.begin(), cycle.end());
+        if (best.empty() || cycle.size() < best.size())
+            best = std::move(cycle);
+    }
+    return best;
+}
+
+} // namespace spin::analysis

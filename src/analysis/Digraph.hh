@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generic directed-graph algorithms for the static channel-dependency
+ * analysis: iterative Tarjan strongly-connected components, bounded
+ * Johnson elementary-cycle enumeration, and per-SCC shortest-cycle
+ * search (the cheapest concrete witness of cyclicity). Nodes are dense
+ * ints; the CDG layers meaning on top (analysis/CdgBuilder.hh).
+ */
+
+#ifndef SPINNOC_ANALYSIS_DIGRAPH_HH
+#define SPINNOC_ANALYSIS_DIGRAPH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace spin::analysis
+{
+
+/** See file comment. */
+class Digraph
+{
+  public:
+    explicit Digraph(int num_nodes = 0);
+
+    int numNodes() const { return static_cast<int>(succs_.size()); }
+    std::size_t numEdges() const { return numEdges_; }
+
+    /** Add edge a -> b. Duplicates are the caller's concern. */
+    void addEdge(int a, int b);
+    const std::vector<int> &succs(int n) const { return succs_[n]; }
+
+    /**
+     * Strongly connected components that can carry a cycle: size > 1,
+     * or a single node with a self-loop. Tarjan, iterative (CDGs of
+     * large networks overflow a recursive stack).
+     */
+    std::vector<std::vector<int>> nontrivialSccs() const;
+
+    bool acyclic() const { return nontrivialSccs().empty(); }
+
+    /**
+     * Elementary cycles in Johnson's vertex order, capped at
+     * @p max_cycles results and @p max_len nodes per cycle (paths
+     * longer than the cap are pruned, so enumeration is exhaustive
+     * only up to that length). Each cycle lists its nodes in edge
+     * order, first node smallest.
+     */
+    std::vector<std::vector<int>>
+    elementaryCycles(std::size_t max_cycles, std::size_t max_len) const;
+
+    /**
+     * A shortest cycle through any node of @p scc (nodes of one SCC of
+     * this graph), found by BFS from each member. Empty when the SCC
+     * carries no cycle.
+     */
+    std::vector<int> shortestCycleIn(const std::vector<int> &scc) const;
+
+  private:
+    std::vector<std::vector<int>> succs_;
+    std::size_t numEdges_ = 0;
+};
+
+} // namespace spin::analysis
+
+#endif // SPINNOC_ANALYSIS_DIGRAPH_HH

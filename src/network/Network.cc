@@ -52,10 +52,20 @@ Network::Network(std::shared_ptr<const Topology> topo,
         nics_.push_back(std::make_unique<Nic>(*this, n));
 
     routing_->attach(*this);
-    if (cfg_.vcsPerVnet < routing_->minVcsPerVnet()) {
+    // minVcsPerVnet() is authoritative: under-provisioning would void
+    // the deadlock-freedom argument the algorithm's selfDeadlockFree()
+    // declaration rests on (spin_lint verifies the declarations
+    // statically). Static Bubble strips one reserved VC per vnet from
+    // normal traffic (applyVcReservation), so it must not count.
+    const int reservedVcs =
+        cfg_.scheme == DeadlockScheme::StaticBubble ? 1 : 0;
+    if (cfg_.vcsPerVnet - reservedVcs < routing_->minVcsPerVnet()) {
         SPIN_FATAL(routing_->name(), " needs at least ",
-                   routing_->minVcsPerVnet(), " VCs per vnet, got ",
-                   cfg_.vcsPerVnet);
+                   routing_->minVcsPerVnet(),
+                   " VCs per vnet usable by normal traffic, got ",
+                   cfg_.vcsPerVnet - reservedVcs, " (", cfg_.vcsPerVnet,
+                   " configured, ", reservedVcs,
+                   " reserved for recovery)");
     }
 
     if (cfg_.scheme == DeadlockScheme::Spin) {

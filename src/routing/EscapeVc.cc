@@ -99,4 +99,11 @@ EscapeVc::onVcGranted(Packet &pkt, const Router &, PortId, VcId vc) const
         pkt.onEscape = true;
 }
 
+void
+EscapeVc::escapeVcs(VnetId vnet, std::vector<VcId> &out) const
+{
+    out.clear();
+    out.push_back(escapeVc(vnet));
+}
+
 } // namespace spin

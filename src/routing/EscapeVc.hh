@@ -36,6 +36,7 @@ class EscapeVc : public RoutingAlgorithm
                       std::vector<VcId> &out) const override;
     void onVcGranted(Packet &pkt, const Router &r, PortId outport,
                      VcId vc) const override;
+    void escapeVcs(VnetId vnet, std::vector<VcId> &out) const override;
 
   private:
     /** Escape VC index for @p vnet. */

@@ -95,6 +95,107 @@ RoutingAlgorithm::onVcGranted(Packet &, const Router &, PortId, VcId) const
 {
 }
 
+void
+RoutingAlgorithm::initialStates(RouterId src, RouterId dest, VnetId vnet,
+                                std::vector<RouteState> &out) const
+{
+    out.clear();
+    RouteState s;
+    s.router = src;
+    s.target = dest;
+    s.dest = dest;
+    s.vnet = vnet;
+    out.push_back(s);
+    if (!nonMinimal())
+        return;
+    // Misrouting algorithms (UGAL, FAvORS-NMin) may detour through any
+    // intermediate router; phase 1 routes minimally toward it.
+    const int nr = net_->topo().numRouters();
+    for (RouterId inter = 0; inter < nr; ++inter) {
+        if (inter == src || inter == dest)
+            continue;
+        RouteState m = s;
+        m.target = inter;
+        m.misrouting = true;
+        out.push_back(m);
+    }
+}
+
+void
+RoutingAlgorithm::enumerateHops(const RouteState &s,
+                                std::vector<RouteHop> &out) const
+{
+    out.clear();
+    SPIN_ASSERT(net_, "enumerateHops before attach");
+    if (s.terminal())
+        return;
+
+    // Synthesize the packet record the routing functions would see.
+    Packet pkt;
+    pkt.destRouter = s.dest;
+    pkt.vnet = s.vnet;
+    pkt.globalHops = s.globalHops;
+    pkt.onEscape = s.onEscape;
+    pkt.intermediate = s.misrouting ? s.target : kInvalidId;
+    pkt.phaseTwo = !s.misrouting;
+
+    const Router &r = net_->router(s.router);
+    std::vector<PortId> cands;
+    candidates(pkt, r, s.target, cands);
+    std::vector<VcId> vcs;
+    for (const PortId p : cands) {
+        const LinkSpec *l = net_->topo().outLink(s.router, p);
+        SPIN_ASSERT(l, "candidate port ", p, " of router ", s.router,
+                    " is unwired");
+        allowedVcs(pkt, r, p, vcs);
+        applyVcReservation(*net_, pkt, vcs);
+        for (const VcId v : vcs) {
+            // Advance the abstract state through the same hooks the
+            // datapath fires, so scheme-specific transitions (escape
+            // entry, global-hop classes) need no duplicate logic.
+            Packet moved = pkt;
+            onHop(moved, r, p);
+            onVcGranted(moved, r, p, v);
+
+            RouteHop h;
+            h.outport = p;
+            h.vc = v;
+            RouteState &ns = h.next;
+            ns.router = l->dst;
+            ns.dest = s.dest;
+            ns.vnet = s.vnet;
+            // VC classes only ever compare against vcsPerVnet - 1, so
+            // saturating keeps the state space finite without changing
+            // any allowedVcs() answer.
+            ns.globalHops = std::min(moved.globalHops, vcsPerVnet());
+            ns.onEscape = moved.onEscape;
+            if (l->dst == s.dest || (s.misrouting && l->dst == s.target)) {
+                // Reached the destination (routers eject on arrival even
+                // mid-misroute) or the intermediate: phase 2 begins.
+                ns.target = s.dest;
+                ns.misrouting = false;
+            } else {
+                ns.target = s.target;
+                ns.misrouting = s.misrouting;
+            }
+            out.push_back(h);
+        }
+    }
+}
+
+void
+RoutingAlgorithm::escapeVcs(VnetId, std::vector<VcId> &out) const
+{
+    out.clear();
+}
+
+bool
+RoutingAlgorithm::sccProtectedByFlowControl(
+    const std::vector<StaticChannel> &) const
+{
+    return false;
+}
+
 VcId
 RoutingAlgorithm::vnetVcBase(VnetId vnet) const
 {

@@ -27,6 +27,50 @@ namespace spin
 class Network;
 class Router;
 
+/**
+ * Abstract per-packet routing state for static channel-dependency-graph
+ * analysis (src/analysis). It captures exactly the Packet fields the
+ * routing functions read -- destination, current target, escape /
+ * misroute phase, global-hop VC class -- so the analyzer can enumerate
+ * every state a packet can be in without simulating traffic.
+ */
+struct RouteState
+{
+    RouterId router = kInvalidId; //!< where the packet head is
+    RouterId target = kInvalidId; //!< current routing target
+    RouterId dest = kInvalidId;   //!< final destination router
+    VnetId vnet = 0;
+    /** Global links taken so far, saturated (VC-ordered schemes). */
+    int globalHops = 0;
+    /** True once the packet entered an escape / reserved layer. */
+    bool onEscape = false;
+    /** True while routing toward an intermediate router (phase 1). */
+    bool misrouting = false;
+
+    /** The packet ejects here: no further channel is demanded. */
+    bool terminal() const { return router == dest; }
+    bool operator==(const RouteState &) const = default;
+};
+
+/** One statically enumerated hop option: the per-VC channel taken
+ *  (outport + downstream VC) and the resulting routing state. */
+struct RouteHop
+{
+    PortId outport = kInvalidId;
+    VcId vc = kInvalidId;
+    RouteState next;
+};
+
+/** One per-VC channel as the static-analysis hooks see it. */
+struct StaticChannel
+{
+    RouterId src = kInvalidId;
+    PortId srcPort = kInvalidId;
+    RouterId dst = kInvalidId;
+    PortId dstPort = kInvalidId;
+    VcId vc = kInvalidId;
+};
+
 /** Base class; see file comment. Stateless per packet: all per-packet
  *  state lives in the Packet record. */
 class RoutingAlgorithm
@@ -110,6 +154,47 @@ class RoutingAlgorithm
     /** Hook: downstream VC granted (escape-network tracking). */
     virtual void onVcGranted(Packet &pkt, const Router &r, PortId outport,
                              VcId vc) const;
+
+    /// @name Static analysis (spin-lint / src/analysis)
+    /// @{
+    /**
+     * Routing states a packet injected at @p src toward @p dest can
+     * start in. Default: the single minimal state; misrouting
+     * algorithms (nonMinimal()) additionally start one phase-1 state
+     * per possible intermediate router.
+     */
+    virtual void initialStates(RouterId src, RouterId dest, VnetId vnet,
+                               std::vector<RouteState> &out) const;
+
+    /**
+     * Every (outport, downstream VC) channel a packet in state @p s may
+     * demand next, with the state it would then be in. The default
+     * derives the set mechanically from candidates() x allowedVcs()
+     * (with the deadlock scheme's VC reservation applied) and advances
+     * the state through the onHop / onVcGranted hooks, so most
+     * algorithms need no override. Empty when @p s is terminal.
+     */
+    virtual void enumerateHops(const RouteState &s,
+                               std::vector<RouteHop> &out) const;
+
+    /**
+     * VCs of @p vnet forming a Duato-style escape layer, written into
+     * @p out (cleared first). Empty (the default) means the algorithm
+     * declares no escape layer; a non-empty answer makes the analyzer
+     * run the escape-subgraph acyclicity + reachability checks.
+     */
+    virtual void escapeVcs(VnetId vnet, std::vector<VcId> &out) const;
+
+    /**
+     * True when the algorithm's flow control guarantees that the
+     * dependency cycles inside the strongly connected component formed
+     * by @p channels can never completely fill (e.g. bubble flow
+     * control keeps one free packet buffer per torus ring). Default:
+     * no such guarantee.
+     */
+    virtual bool sccProtectedByFlowControl(
+        const std::vector<StaticChannel> &channels) const;
+    /// @}
 
   protected:
     Network *net_ = nullptr;

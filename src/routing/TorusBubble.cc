@@ -81,6 +81,31 @@ TorusBubble::ringFreeVcs(const Router &r, PortId outport,
 }
 
 bool
+TorusBubble::sccProtectedByFlowControl(
+    const std::vector<StaticChannel> &channels) const
+{
+    // The bubble admission rule keeps one free packet buffer in every
+    // unidirectional ring, so a dependency cycle confined to a single
+    // ring can never fill completely. Dimension-ordered candidates
+    // admit no other kind of cycle; anything mixing rings is a real
+    // hazard this guarantee does not cover.
+    if (channels.empty())
+        return false;
+    const MeshInfo &m = *net_->topo().mesh;
+    const PortId port = channels.front().srcPort;
+    const bool xdim = isXPort(port);
+    const int line = xdim ? m.yOf(channels.front().src)
+                          : m.xOf(channels.front().src);
+    for (const StaticChannel &c : channels) {
+        if (c.srcPort != port)
+            return false; // different direction or dimension
+        if ((xdim ? m.yOf(c.src) : m.xOf(c.src)) != line)
+            return false; // different ring of the same dimension
+    }
+    return true;
+}
+
+bool
 TorusBubble::admission(const Packet &pkt, const Router &r, PortId inport,
                        PortId outport) const
 {

@@ -35,6 +35,8 @@ class TorusBubble : public RoutingAlgorithm
                     std::vector<PortId> &out) const override;
     bool admission(const Packet &pkt, const Router &r, PortId inport,
                    PortId outport) const override;
+    bool sccProtectedByFlowControl(
+        const std::vector<StaticChannel> &channels) const override;
 
     /** Free VCs in the unidirectional ring entered via @p outport of
      *  router @p r, for @p vnet (diagnostic + admission input). */

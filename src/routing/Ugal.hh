@@ -49,9 +49,23 @@ class Ugal : public RoutingAlgorithm
                       std::vector<VcId> &out) const override;
     void onHop(Packet &pkt, const Router &r, PortId outport) const
         override;
+    void initialStates(RouterId src, RouterId dest, VnetId vnet,
+                       std::vector<RouteState> &out) const override;
 
   private:
     bool vcOrdered_;
+
+    /**
+     * entry_[from_group * g + to_group]: the router a packet lands on
+     * when it takes from_group's global channel into to_group, or
+     * kInvalidId when that pair is unwired. The ordered flavor only
+     * detours through these gateways (see sourceRoute).
+     */
+    std::vector<RouterId> entry_;
+    /** Same indexing: the router owning that global channel... */
+    std::vector<RouterId> exitRouter_;
+    /** ...and its global out-port on that router. */
+    std::vector<PortId> exitPort_;
 
     /** Congestion estimate: min downstream occupancy over @p ports. */
     int minOccupancy(const Router &r,

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Static channel-dependency-graph analysis: graph algorithms, verdicts
+ * for every shipped scheme (the paper's Table 1 classification derived
+ * without simulation), machine-checked witness cycles, contract
+ * cross-checks, and cross-validation that a static witness cycle can be
+ * driven into a real deadlock the oracle detector then attributes to
+ * exactly those channels.
+ */
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "SpinTestUtil.hh"
+#include "analysis/CdgAnalyzer.hh"
+#include "analysis/Digraph.hh"
+#include "common/Logging.hh"
+#include "deadlock/OracleDetector.hh"
+#include "network/NetworkBuilder.hh"
+#include "topology/Dragonfly.hh"
+#include "topology/Mesh.hh"
+#include "topology/Ring.hh"
+#include "topology/Torus.hh"
+
+namespace spin
+{
+namespace
+{
+
+using analysis::AnalysisReport;
+using analysis::CdgAnalyzer;
+using analysis::Verdict;
+
+std::unique_ptr<Network>
+lintNet(Topology topo, RoutingKind kind, DeadlockScheme scheme, int vcs)
+{
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = vcs;
+    cfg.scheme = scheme;
+    return buildNetwork(std::make_shared<Topology>(std::move(topo)), cfg,
+                        kind);
+}
+
+AnalysisReport
+analyzeOf(Network &net)
+{
+    return CdgAnalyzer(net).analyze(0);
+}
+
+// ---------------------------------------------------------------------
+// Digraph algorithms
+// ---------------------------------------------------------------------
+
+TEST(Digraph, TarjanSeparatesCyclicFromAcyclic)
+{
+    analysis::Digraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0); // {0,1,2} cyclic
+    g.addEdge(2, 3);
+    g.addEdge(3, 4); // tail
+    g.addEdge(5, 5); // self-loop counts as a nontrivial SCC
+    const auto sccs = g.nontrivialSccs();
+    ASSERT_EQ(sccs.size(), 2u);
+    std::set<int> members;
+    for (const auto &scc : sccs)
+        members.insert(scc.begin(), scc.end());
+    EXPECT_EQ(members, (std::set<int>{0, 1, 2, 5}));
+    EXPECT_FALSE(g.acyclic());
+
+    analysis::Digraph dag(4);
+    dag.addEdge(0, 1);
+    dag.addEdge(0, 2);
+    dag.addEdge(1, 3);
+    dag.addEdge(2, 3);
+    EXPECT_TRUE(dag.acyclic());
+    EXPECT_TRUE(dag.nontrivialSccs().empty());
+}
+
+TEST(Digraph, ShortestCycleAndJohnsonAgree)
+{
+    // Two nested cycles sharing node 0: 0-1-0 and 0-1-2-3-0.
+    analysis::Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 0);
+    const auto sccs = g.nontrivialSccs();
+    ASSERT_EQ(sccs.size(), 1u);
+    const auto shortest = g.shortestCycleIn(sccs[0]);
+    EXPECT_EQ(shortest.size(), 2u);
+    const auto cycles = g.elementaryCycles(16, 64);
+    EXPECT_EQ(cycles.size(), 2u);
+    std::set<std::size_t> lengths;
+    for (const auto &c : cycles)
+        lengths.insert(c.size());
+    EXPECT_EQ(lengths, (std::set<std::size_t>{2u, 4u}));
+}
+
+// ---------------------------------------------------------------------
+// Verdicts across the shipped schemes (Table 1, statically)
+// ---------------------------------------------------------------------
+
+TEST(CdgAnalyzer, DorMeshIsAcyclic)
+{
+    auto net = lintNet(makeMesh(4, 4), RoutingKind::XyDor,
+                       DeadlockScheme::None, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::Acyclic);
+    EXPECT_EQ(rep.cyclicSccs, 0);
+    EXPECT_TRUE(rep.witnesses.empty());
+    EXPECT_TRUE(rep.contractOk);
+}
+
+TEST(CdgAnalyzer, WestFirstMeshIsAcyclic)
+{
+    auto net = lintNet(makeMesh(4, 4), RoutingKind::WestFirst,
+                       DeadlockScheme::None, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::Acyclic);
+    EXPECT_TRUE(rep.contractOk);
+}
+
+TEST(CdgAnalyzer, MinimalAdaptiveMeshIsCyclicWithVerifiedWitness)
+{
+    auto net = lintNet(makeMesh(4, 4), RoutingKind::MinimalAdaptive,
+                       DeadlockScheme::None, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::Deadlockable);
+    ASSERT_FALSE(rep.witnesses.empty());
+    for (const auto &w : rep.witnesses) {
+        EXPECT_TRUE(w.verified);
+        EXPECT_EQ(static_cast<std::size_t>(w.length), w.channels.size());
+    }
+    // The classic 4-router turn cycle exists in a mesh.
+    EXPECT_EQ(rep.witnesses.front().length, 4);
+    EXPECT_TRUE(rep.contractOk); // declares !selfDeadlockFree
+}
+
+TEST(CdgAnalyzer, JohnsonWitnessesAreElementary)
+{
+    // 8x8 FAvORS yields one large SCC where the witness length cap
+    // actually binds; the truncated enumeration must still return only
+    // elementary cycles. A channel can be held by at most one packet,
+    // so a witness that revisits a node is not a realizable deadlock
+    // (and would inflate the reported spin bound k = m-1).
+    auto net = lintNet(makeMesh(8, 8), RoutingKind::FavorsMin,
+                       DeadlockScheme::Spin, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    ASSERT_FALSE(rep.witnesses.empty());
+    std::set<std::vector<int>> seen;
+    for (const auto &w : rep.witnesses) {
+        const std::set<int> distinct(w.nodes.begin(), w.nodes.end());
+        EXPECT_EQ(distinct.size(), w.nodes.size())
+            << "witness of length " << w.length << " revisits a channel";
+        EXPECT_TRUE(seen.insert(w.nodes).second) << "duplicate witness";
+    }
+}
+
+TEST(CdgAnalyzer, MinimalAdaptiveRingIsCyclicWithFullRingWitness)
+{
+    auto net = lintNet(makeRing(8), RoutingKind::MinimalAdaptive,
+                       DeadlockScheme::None, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::Deadlockable);
+    ASSERT_FALSE(rep.witnesses.empty());
+    // The only cycles a ring admits span a full direction: length n.
+    EXPECT_EQ(rep.witnesses.front().length, 8);
+    EXPECT_TRUE(rep.witnesses.front().verified);
+}
+
+TEST(CdgAnalyzer, EscapeVcSatisfiesDuatoCondition)
+{
+    auto net = lintNet(makeMesh(4, 4), RoutingKind::EscapeVc,
+                       DeadlockScheme::None, 2);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::EscapeProtected);
+    EXPECT_TRUE(rep.escapeDeclared);
+    EXPECT_TRUE(rep.escapeAcyclic);
+    EXPECT_TRUE(rep.escapeAlwaysReachable);
+    EXPECT_TRUE(rep.escapeClosed);
+    // The adaptive layer still shows its cycle...
+    EXPECT_GE(rep.cyclicSccs, 1);
+    // ...and the verdict counts as deadlock-free without recovery.
+    EXPECT_TRUE(analysis::verdictSelfSufficient(rep.verdict));
+    EXPECT_TRUE(rep.contractOk);
+}
+
+TEST(CdgAnalyzer, TorusBubbleNeutralizesRingSccs)
+{
+    auto net = lintNet(makeTorus(4, 4), RoutingKind::TorusBubble,
+                       DeadlockScheme::None, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::FlowControlProtected);
+    // One SCC per unidirectional ring: 4 rows + 4 cols, 2 directions.
+    EXPECT_EQ(rep.cyclicSccs, 8);
+    EXPECT_TRUE(rep.contractOk);
+}
+
+TEST(CdgAnalyzer, DorOnTorusIsDeadlockable)
+{
+    auto net = lintNet(makeTorus(4, 4), RoutingKind::XyDor,
+                       DeadlockScheme::None, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::Deadlockable);
+    // XyDor's declaration is topology-aware (false once rings wrap),
+    // so the static verdict and the contract agree.
+    EXPECT_FALSE(rep.declaredSelfFree);
+    EXPECT_TRUE(rep.contractOk);
+    ASSERT_FALSE(rep.witnesses.empty());
+    EXPECT_TRUE(rep.witnesses.front().verified);
+}
+
+TEST(CdgAnalyzer, UgalDallyDragonflyIsAcyclic)
+{
+    auto net = lintNet(makeDragonfly(2, 4, 2, 9), RoutingKind::UgalDally,
+                       DeadlockScheme::None, 3);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::Acyclic);
+    EXPECT_TRUE(rep.contractOk);
+}
+
+TEST(CdgAnalyzer, UgalSpinDragonflyIsRecoverable)
+{
+    auto net = lintNet(makeDragonfly(2, 4, 2, 9), RoutingKind::UgalSpin,
+                       DeadlockScheme::Spin, 3);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::RecoverableSpin);
+    EXPECT_GT(rep.probeBudget, 0);
+    ASSERT_FALSE(rep.witnesses.empty());
+    for (const auto &w : rep.witnesses) {
+        EXPECT_TRUE(w.verified);
+        EXPECT_TRUE(w.spinRecoverable);
+        // Non-minimal routing: k = m*p + (m-1) with p = 1.
+        EXPECT_EQ(w.spinBound, 2 * w.length - 1);
+    }
+}
+
+TEST(CdgAnalyzer, SpinBoundIsMMinusOneForMinimalRouting)
+{
+    auto net = lintNet(makeMesh(4, 4), RoutingKind::MinimalAdaptive,
+                       DeadlockScheme::Spin, 1);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::RecoverableSpin);
+    ASSERT_FALSE(rep.witnesses.empty());
+    for (const auto &w : rep.witnesses)
+        EXPECT_EQ(w.spinBound, w.length - 1); // p = 0
+}
+
+TEST(CdgAnalyzer, StaticBubbleReservedLayerCertified)
+{
+    auto net = lintNet(makeMesh(4, 4), RoutingKind::MinimalAdaptive,
+                       DeadlockScheme::StaticBubble, 2);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::RecoverableStaticBubble);
+    EXPECT_TRUE(rep.contractOk);
+}
+
+// ---------------------------------------------------------------------
+// Contract enforcement at construction time
+// ---------------------------------------------------------------------
+
+TEST(VcContract, UnderProvisionedEscapeVcIsFatal)
+{
+    EXPECT_THROW(lintNet(makeMesh(4, 4), RoutingKind::EscapeVc,
+                         DeadlockScheme::None, 1),
+                 FatalError);
+}
+
+TEST(VcContract, ReservedVcDoesNotCountTowardMinimum)
+{
+    // escape-vc needs 2 usable VCs; static bubble reserves one of the
+    // 2 configured, leaving 1: construction must refuse.
+    EXPECT_THROW(lintNet(makeMesh(4, 4), RoutingKind::EscapeVc,
+                         DeadlockScheme::StaticBubble, 2),
+                 FatalError);
+    // With 3 configured VCs the contract holds again.
+    EXPECT_NO_THROW(lintNet(makeMesh(4, 4), RoutingKind::EscapeVc,
+                            DeadlockScheme::StaticBubble, 3));
+}
+
+TEST(VcContract, UnderProvisionedUgalDallyIsFatal)
+{
+    EXPECT_THROW(lintNet(makeDragonfly(2, 4, 2, 9),
+                         RoutingKind::UgalDally, DeadlockScheme::None, 2),
+                 FatalError);
+}
+
+// A routing algorithm whose declaration lies: claims deadlock freedom
+// over a CDG that is one big cycle. The analyzer must catch it.
+class LyingClockwiseRing : public ClockwiseRing
+{
+  public:
+    std::string name() const override { return "lying-cw-ring"; }
+    bool selfDeadlockFree() const override { return true; }
+};
+
+TEST(CdgAnalyzer, FlagsLyingSelfDeadlockFreeDeclaration)
+{
+    auto topo = std::make_shared<Topology>(makeRing(4));
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = 1;
+    cfg.scheme = DeadlockScheme::None;
+    Network net(topo, cfg, std::make_unique<LyingClockwiseRing>());
+    const AnalysisReport rep = analyzeOf(net);
+    EXPECT_EQ(rep.verdict, Verdict::Deadlockable);
+    EXPECT_FALSE(rep.contractOk);
+    EXPECT_FALSE(rep.contractNote.empty());
+}
+
+// ---------------------------------------------------------------------
+// Cross-validation: static witness -> real deadlock -> oracle
+// ---------------------------------------------------------------------
+
+TEST(CrossValidation, StaticWitnessMatchesOracleDeadlockMembers)
+{
+    // Deterministic single-cycle CDG: the clockwise-only ring.
+    auto net = ringNetwork(4, DeadlockScheme::None);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::Deadlockable);
+    ASSERT_EQ(rep.witnesses.size(), 1u);
+    const auto &w = rep.witnesses.front();
+    EXPECT_EQ(w.length, 4);
+    EXPECT_TRUE(w.verified);
+
+    // Drive the predicted deadlock for real.
+    injectRingDeadlock(*net);
+    drain(*net, 2000);
+    const DeadlockReport oracle = OracleDetector(*net).detect();
+    ASSERT_TRUE(oracle.deadlocked);
+
+    // A CDG channel (link, vc) is the buffer at the link's downstream
+    // (router, in-port): the oracle must blame exactly the witness set.
+    using Buf = std::tuple<RouterId, PortId, VcId>;
+    std::set<Buf> predicted;
+    for (const StaticChannel &c : w.channels)
+        predicted.emplace(c.dst, c.dstPort, c.vc);
+    std::set<Buf> blamed;
+    for (const DeadlockMember &m : oracle.members)
+        blamed.emplace(m.router, m.inport, m.vc);
+    EXPECT_EQ(predicted, blamed);
+}
+
+TEST(CrossValidation, SpinResolvesThePredictedLoopWithinBound)
+{
+    // Same loop, SPIN-enabled: the static spin bound must hold live.
+    auto net = ringNetwork(4, DeadlockScheme::Spin, 1, 32);
+    const AnalysisReport rep = analyzeOf(*net);
+    EXPECT_EQ(rep.verdict, Verdict::RecoverableSpin);
+    ASSERT_FALSE(rep.witnesses.empty());
+    EXPECT_TRUE(rep.witnesses.front().spinRecoverable);
+
+    injectRingDeadlock(*net);
+    const Cycle spent = drain(*net, 20000);
+    EXPECT_EQ(net->packetsInFlight(), 0u) << "SPIN failed to recover "
+                                             "the statically predicted "
+                                             "loop within " << spent
+                                          << " cycles";
+}
+
+// ---------------------------------------------------------------------
+// Report export
+// ---------------------------------------------------------------------
+
+TEST(AnalysisReport, JsonRoundTripsAndDotRenders)
+{
+    auto net = lintNet(makeRing(4), RoutingKind::MinimalAdaptive,
+                       DeadlockScheme::None, 1);
+    CdgAnalyzer analyzer(*net);
+    const AnalysisReport rep = analyzer.analyze(0);
+
+    std::string err;
+    const obs::JsonValue j = obs::JsonValue::parse(rep.toJson().dump(2),
+                                                   &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ((*j.find("verdict")).asString(), "deadlockable");
+    ASSERT_NE(j.find("witnesses"), nullptr);
+    EXPECT_GT(j["witnesses"].size(), 0u);
+
+    const std::string dot = analyzer.toDot(rep);
+    EXPECT_NE(dot.find("digraph cdg"), std::string::npos);
+    EXPECT_NE(dot.find("color=red"), std::string::npos); // witness edges
+}
+
+TEST(AnalysisReport, TruncationIsInconclusive)
+{
+    auto net = lintNet(makeMesh(4, 4), RoutingKind::MinimalAdaptive,
+                       DeadlockScheme::None, 1);
+    const AnalysisReport rep = CdgAnalyzer(*net).analyze(0, 8);
+    EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+    EXPECT_FALSE(rep.contractOk);
+    EXPECT_FALSE(analysis::verdictDeadlockFree(rep.verdict));
+}
+
+} // namespace
+} // namespace spin

@@ -334,8 +334,9 @@ TEST(Tracer, RouterRestrictionFilters)
         ++lines;
         const JsonValue j = JsonValue::parse(line);
         const JsonValue *r = j.find("router");
-        if (r)
+        if (r) {
             EXPECT_EQ(r->asU64(), 2u) << line;
+        }
     }
     EXPECT_GT(lines, 0);
 }

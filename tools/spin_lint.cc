@@ -1,0 +1,404 @@
+/**
+ * @file
+ * spin-lint: static channel-dependency-graph verifier.
+ *
+ * Builds the extended CDG of a (topology x routing x VC-partition x
+ * deadlock-scheme) configuration from the routing function alone and
+ * decides deadlock freedom without simulating: acyclicity, the Duato
+ * escape condition, bubble flow control, and recovery applicability
+ * (SPIN probe budget / Static Bubble reserved layer), emitting concrete
+ * witness cycles for every cyclic verdict. `--sweep` checks the whole
+ * shipped scheme matrix against the paper's Table 1 classification and
+ * each algorithm's declared selfDeadlockFree() contract -- the CI gate.
+ *
+ * Examples:
+ *   spin_lint --topology mesh8x8 --routing favors-min --scheme spin \
+ *             --vcs 1 --dot cdg.dot
+ *   spin_lint --sweep --json spin_lint.json --dot-dir lint-out
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/CdgAnalyzer.hh"
+#include "common/Logging.hh"
+#include "network/NetworkBuilder.hh"
+#include "topology/Dragonfly.hh"
+#include "topology/Mesh.hh"
+#include "topology/Ring.hh"
+#include "topology/Torus.hh"
+
+namespace
+{
+
+using namespace spin;
+using analysis::AnalysisReport;
+using analysis::CdgAnalyzer;
+using analysis::Verdict;
+
+const char *kUsage =
+    "spin_lint: static channel-dependency-graph deadlock verifier\n"
+    "\n"
+    "  --topology SPEC   mesh8x8 | mesh:X,Y | torus:X,Y | ring:N |\n"
+    "                    dragonfly | dragonfly:p,a,h,g  (default mesh8x8)\n"
+    "  --routing NAME    xy-dor | west-first | minimal-adaptive |\n"
+    "                    escape-vc | torus-bubble-dor | ugal-dally |\n"
+    "                    ugal-spin | favors-min | favors-nmin\n"
+    "  --scheme NAME     none | spin | static-bubble  (default none)\n"
+    "  --vcs N           VCs per vnet (default: routing's declared min)\n"
+    "  --vnets N         virtual networks (default 1; vnets never share\n"
+    "                    VCs, so vnet 0 decides)\n"
+    "  --max-states N    reachability budget (default 2^24)\n"
+    "  --json PATH       write the report (or sweep table) as JSON\n"
+    "  --dot PATH        write the CDG as Graphviz DOT (single config)\n"
+    "  --dot-dir DIR     sweep: write DOT per cyclic/violating row\n"
+    "  --sweep           verify the shipped configuration matrix\n"
+    "  --quiet           only print violations\n"
+    "  --help            this message\n"
+    "\n"
+    "exit status: 0 all contracts hold, 1 violation or inconclusive,\n"
+    "             2 usage error\n";
+
+struct Options
+{
+    std::string topology = "mesh8x8";
+    std::string routing = "minimal-adaptive";
+    std::string scheme = "none";
+    int vcs = 0; // 0 = routing's declared minimum
+    int vnets = 1;
+    std::uint64_t maxStates = 1ull << 24;
+    std::string jsonPath;
+    std::string dotPath;
+    std::string dotDir;
+    bool sweep = false;
+    bool quiet = false;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    const auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        const char *v = nullptr;
+        if (!std::strcmp(a, "--help")) {
+            std::fputs(kUsage, stdout);
+            std::exit(0);
+        } else if (!std::strcmp(a, "--sweep")) {
+            o.sweep = true;
+        } else if (!std::strcmp(a, "--quiet")) {
+            o.quiet = true;
+        } else if (!std::strcmp(a, "--topology")) {
+            if (!(v = value(i)))
+                return false;
+            o.topology = v;
+        } else if (!std::strcmp(a, "--routing")) {
+            if (!(v = value(i)))
+                return false;
+            o.routing = v;
+        } else if (!std::strcmp(a, "--scheme")) {
+            if (!(v = value(i)))
+                return false;
+            o.scheme = v;
+        } else if (!std::strcmp(a, "--vcs")) {
+            if (!(v = value(i)))
+                return false;
+            o.vcs = std::atoi(v);
+        } else if (!std::strcmp(a, "--vnets")) {
+            if (!(v = value(i)))
+                return false;
+            o.vnets = std::atoi(v);
+        } else if (!std::strcmp(a, "--max-states")) {
+            if (!(v = value(i)))
+                return false;
+            o.maxStates = std::strtoull(v, nullptr, 10);
+        } else if (!std::strcmp(a, "--json")) {
+            if (!(v = value(i)))
+                return false;
+            o.jsonPath = v;
+        } else if (!std::strcmp(a, "--dot")) {
+            if (!(v = value(i)))
+                return false;
+            o.dotPath = v;
+        } else if (!std::strcmp(a, "--dot-dir")) {
+            if (!(v = value(i)))
+                return false;
+            o.dotDir = v;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n%s", a, kUsage);
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Parse "name:a,b,c" numeric parameters after the colon. */
+std::vector<int>
+specParams(const std::string &spec)
+{
+    std::vector<int> out;
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        return out;
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+        out.push_back(std::atoi(rest.c_str() + pos));
+        const auto comma = rest.find(',', pos);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::shared_ptr<const Topology>
+makeTopology(const std::string &spec)
+{
+    const auto params = specParams(spec);
+    const std::string kind = spec.substr(0, spec.find(':'));
+    if (spec == "mesh8x8")
+        return std::make_shared<Topology>(makeMesh(8, 8));
+    if (kind == "mesh" && params.size() == 2)
+        return std::make_shared<Topology>(makeMesh(params[0], params[1]));
+    if (kind == "torus" && params.size() == 2)
+        return std::make_shared<Topology>(makeTorus(params[0], params[1]));
+    if (kind == "ring" && params.size() == 1)
+        return std::make_shared<Topology>(makeRing(params[0]));
+    if (kind == "dragonfly" && params.empty())
+        return std::make_shared<Topology>(makeDragonfly(2, 4, 2, 9));
+    if (kind == "dragonfly" && params.size() == 4) {
+        return std::make_shared<Topology>(makeDragonfly(
+            params[0], params[1], params[2], params[3]));
+    }
+    SPIN_FATAL("unknown topology spec '", spec, "'");
+}
+
+RoutingKind
+routingKindOf(const std::string &name)
+{
+    for (const RoutingKind k :
+         {RoutingKind::XyDor, RoutingKind::WestFirst,
+          RoutingKind::MinimalAdaptive, RoutingKind::EscapeVc,
+          RoutingKind::TorusBubble, RoutingKind::UgalDally,
+          RoutingKind::UgalSpin, RoutingKind::FavorsMin,
+          RoutingKind::FavorsNMin}) {
+        if (toString(k) == name)
+            return k;
+    }
+    SPIN_FATAL("unknown routing '", name, "'");
+}
+
+DeadlockScheme
+schemeOf(const std::string &name)
+{
+    if (name == "none")
+        return DeadlockScheme::None;
+    if (name == "spin")
+        return DeadlockScheme::Spin;
+    if (name == "static-bubble")
+        return DeadlockScheme::StaticBubble;
+    SPIN_FATAL("unknown scheme '", name, "'");
+}
+
+/** A row is healthy when the declaration matches the verdict and any
+ *  configured recovery scheme actually certifies freedom. */
+bool
+rowOk(const AnalysisReport &rep, DeadlockScheme scheme)
+{
+    if (!rep.contractOk)
+        return false;
+    if (scheme != DeadlockScheme::None &&
+        !analysis::verdictDeadlockFree(rep.verdict)) {
+        return false;
+    }
+    return rep.verdict != Verdict::Inconclusive;
+}
+
+AnalysisReport
+runOne(const Options &o, const std::string &topoSpec,
+       const std::string &routingName, const std::string &schemeName,
+       int vcs, std::string *dot)
+{
+    const RoutingKind kind = routingKindOf(routingName);
+    NetworkConfig cfg;
+    cfg.name = "spin-lint";
+    cfg.vnets = o.vnets;
+    cfg.vcsPerVnet = vcs > 0 ? vcs : makeRouting(kind)->minVcsPerVnet();
+    cfg.scheme = schemeOf(schemeName);
+    if (cfg.scheme == DeadlockScheme::StaticBubble)
+        cfg.vcsPerVnet += 1; // the reserved VC rides on top
+    auto net = buildNetwork(makeTopology(topoSpec), cfg, kind);
+    CdgAnalyzer analyzer(*net);
+    AnalysisReport rep = analyzer.analyze(0, o.maxStates);
+    if (dot)
+        *dot = analyzer.toDot(rep);
+    return rep;
+}
+
+/** One sweep row: a shipped configuration and its Table 1 verdict. */
+struct SweepRow
+{
+    const char *name;
+    const char *topology;
+    const char *routing;
+    const char *scheme;
+    int vcs; //!< 0 = routing's declared minimum
+    Verdict expected;
+};
+
+/**
+ * The shipped scheme matrix (paper Table 1 plus the DOR rows of
+ * Table 2's topologies). Small instances: the CDG verdict is scale
+ * invariant for these regular topologies, the witnesses just get
+ * longer.
+ */
+const SweepRow kSweep[] = {
+    {"DOR_mesh", "mesh8x8", "xy-dor", "none", 0, Verdict::Acyclic},
+    {"WestFirst_mesh", "mesh8x8", "west-first", "none", 0,
+     Verdict::Acyclic},
+    {"EscapeVC_mesh", "mesh8x8", "escape-vc", "none", 0,
+     Verdict::EscapeProtected},
+    {"MinAdaptive_mesh_none", "mesh8x8", "minimal-adaptive", "none", 0,
+     Verdict::Deadlockable},
+    {"MinAdaptive_mesh_SPIN", "mesh8x8", "minimal-adaptive", "spin", 0,
+     Verdict::RecoverableSpin},
+    {"StaticBubble_mesh", "mesh8x8", "minimal-adaptive", "static-bubble",
+     0, Verdict::RecoverableStaticBubble},
+    {"FAvORS_Min_mesh_SPIN", "mesh8x8", "favors-min", "spin", 0,
+     Verdict::RecoverableSpin},
+    {"FAvORS_NMin_mesh_SPIN", "mesh8x8", "favors-nmin", "spin", 0,
+     Verdict::RecoverableSpin},
+    {"DOR_torus_none", "torus:4,4", "xy-dor", "none", 0,
+     Verdict::Deadlockable},
+    {"TorusBubble", "torus:4,4", "torus-bubble-dor", "none", 0,
+     Verdict::FlowControlProtected},
+    {"TorusBubble_8x8", "torus:8,8", "torus-bubble-dor", "none", 0,
+     Verdict::FlowControlProtected},
+    {"DOR_ring", "ring:8", "xy-dor", "none", 0, Verdict::Deadlockable},
+    {"MinAdaptive_ring_SPIN", "ring:8", "minimal-adaptive", "spin", 0,
+     Verdict::RecoverableSpin},
+    {"UGAL_Dally_dfly", "dragonfly", "ugal-dally", "none", 0,
+     Verdict::Acyclic},
+    {"UGAL_dfly_SPIN", "dragonfly", "ugal-spin", "spin", 3,
+     Verdict::RecoverableSpin},
+    {"MinAdaptive_dfly_SPIN", "dragonfly", "minimal-adaptive", "spin", 0,
+     Verdict::RecoverableSpin},
+    {"FAvORS_NMin_dfly_SPIN", "dragonfly", "favors-nmin", "spin", 0,
+     Verdict::RecoverableSpin},
+};
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+    return static_cast<bool>(out);
+}
+
+int
+runSweep(const Options &o)
+{
+    obs::JsonValue rows = obs::JsonValue::array();
+    int failures = 0;
+    for (const SweepRow &row : kSweep) {
+        std::string dot;
+        AnalysisReport rep =
+            runOne(o, row.topology, row.routing, row.scheme, row.vcs,
+                   o.dotDir.empty() ? nullptr : &dot);
+        const bool verdictMatch = rep.verdict == row.expected;
+        const bool witnessesOk =
+            analysis::verdictSelfSufficient(rep.verdict) ||
+            (!rep.witnesses.empty() &&
+             rep.witnesses.front().verified);
+        const bool ok = rowOk(rep, schemeOf(row.scheme)) &&
+                        verdictMatch && witnessesOk;
+        if (!ok)
+            ++failures;
+        if (!ok || !o.quiet) {
+            std::printf("%-24s %s %s\n", row.name,
+                        ok ? "ok  " : "FAIL", rep.summary().c_str());
+            if (!verdictMatch) {
+                std::printf("    expected verdict %s\n",
+                            analysis::toString(row.expected).c_str());
+            }
+            if (!witnessesOk)
+                std::printf("    missing verified witness cycle\n");
+        }
+        obs::JsonValue j = rep.toJson();
+        j.set("row", row.name);
+        j.set("expected", analysis::toString(row.expected));
+        j.set("ok", ok);
+        rows.push(std::move(j));
+        if (!o.dotDir.empty() &&
+            (!ok || !analysis::verdictSelfSufficient(rep.verdict))) {
+            writeFile(o.dotDir + "/" + row.name + ".dot", dot);
+        }
+    }
+    if (!o.jsonPath.empty()) {
+        obs::JsonValue doc = obs::JsonValue::object();
+        doc.set("tool", "spin_lint");
+        doc.set("mode", "sweep");
+        doc.set("failures", failures);
+        doc.set("rows", std::move(rows));
+        if (!writeFile(o.jsonPath, doc.dump(2) + "\n")) {
+            std::fprintf(stderr, "cannot write %s\n", o.jsonPath.c_str());
+            return 1;
+        }
+    }
+    std::printf("%zu configurations, %d failure%s\n",
+                std::size(kSweep), failures, failures == 1 ? "" : "s");
+    return failures == 0 ? 0 : 1;
+}
+
+int
+runSingle(const Options &o)
+{
+    std::string dot;
+    AnalysisReport rep = runOne(o, o.topology, o.routing, o.scheme,
+                                o.vcs, o.dotPath.empty() ? nullptr : &dot);
+    std::printf("%s\n", rep.summary().c_str());
+    for (const auto &w : rep.witnesses) {
+        std::printf("  witness (m=%d, %s, spin bound %d): ", w.length,
+                    w.verified ? "verified" : "UNVERIFIED", w.spinBound);
+        for (const StaticChannel &c : w.channels)
+            std::printf("%d->%d.v%d ", c.src, c.dst, c.vc);
+        std::printf("\n");
+    }
+    if (!o.dotPath.empty() && !writeFile(o.dotPath, dot)) {
+        std::fprintf(stderr, "cannot write %s\n", o.dotPath.c_str());
+        return 1;
+    }
+    if (!o.jsonPath.empty() &&
+        !writeFile(o.jsonPath, rep.toJson().dump(2) + "\n")) {
+        std::fprintf(stderr, "cannot write %s\n", o.jsonPath.c_str());
+        return 1;
+    }
+    return rowOk(rep, schemeOf(o.scheme)) ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o))
+        return 2;
+    try {
+        return o.sweep ? runSweep(o) : runSingle(o);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "spin_lint: %s\n", e.what());
+        return 2;
+    }
+}
