@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "exp/ArgParse.hh"
 #include "network/NetworkBuilder.hh"
 #include "obs/Json.hh"
 #include "obs/Tracer.hh"
@@ -64,55 +65,24 @@ struct Options
     }
 
     /**
-     * Testable parser core. Returns false (with @p err set) on an
-     * unknown flag or a missing argument; never exits. "--help" is
-     * treated as an error here so parse() can special-case it.
+     * Testable parser core, built on exp::ArgParse: unknown flags,
+     * missing values and malformed numerics all fail with @p err set;
+     * never exits. "--help" is treated as an error here so parse() can
+     * special-case it.
      */
     static bool
     parseInto(Options &o, int argc, char **argv, std::string &err)
     {
-        const auto value = [&](int &i) -> const char * {
-            if (i + 1 >= argc) {
-                err = std::string("missing value for ") + argv[i];
-                return nullptr;
-            }
-            return argv[++i];
+        const std::vector<exp::ArgSpec> specs = {
+            exp::argU64("--warmup", &o.warmup),
+            exp::argU64("--measure", &o.measure),
+            exp::argU64("--seed", &o.seed, &o.seedSet),
+            exp::argStr("--json", &o.jsonPath),
+            exp::argStr("--trace", &o.tracePath),
+            exp::argFlag("--fast", &o.fast),
         };
-        for (int i = 1; i < argc; ++i) {
-            const char *a = argv[i];
-            if (!std::strcmp(a, "--warmup")) {
-                const char *v = value(i);
-                if (!v)
-                    return false;
-                o.warmup = std::strtoull(v, nullptr, 10);
-            } else if (!std::strcmp(a, "--measure")) {
-                const char *v = value(i);
-                if (!v)
-                    return false;
-                o.measure = std::strtoull(v, nullptr, 10);
-            } else if (!std::strcmp(a, "--seed")) {
-                const char *v = value(i);
-                if (!v)
-                    return false;
-                o.seed = std::strtoull(v, nullptr, 10);
-                o.seedSet = true;
-            } else if (!std::strcmp(a, "--json")) {
-                const char *v = value(i);
-                if (!v)
-                    return false;
-                o.jsonPath = v;
-            } else if (!std::strcmp(a, "--trace")) {
-                const char *v = value(i);
-                if (!v)
-                    return false;
-                o.tracePath = v;
-            } else if (!std::strcmp(a, "--fast")) {
-                o.fast = true;
-            } else {
-                err = std::string("unknown flag: ") + a;
-                return false;
-            }
-        }
+        if (!exp::parseArgs(argc, argv, specs, err))
+            return false;
         if (o.fast) {
             o.warmup /= 4;
             o.measure /= 4;

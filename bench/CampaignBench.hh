@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Shared main() for the campaign-backed figure benches.
+ *
+ * Each latency/utilization figure binary is a thin wrapper over a
+ * built-in sweep spec (src/exp/SweepSpec.cc): it names its spec(s), a
+ * banner, and which report table to print, and this helper supplies the
+ * command line (worker pool, window overrides, resume, JSON export) on
+ * top of exp::Campaign. That keeps the figure grid definitions in one
+ * dogfooded place and gives every figure `-jN` parallelism and
+ * bit-identical-for-any-j aggregates for free.
+ *
+ * Figure binaries that need per-cycle instrumentation (fig03's
+ * deadlock-onset timeline, fig08a's EDP runs) do not go through a
+ * campaign; they keep bench::Options and its --trace flag.
+ */
+
+#ifndef SPINNOC_BENCH_CAMPAIGNBENCH_HH
+#define SPINNOC_BENCH_CAMPAIGNBENCH_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/Logging.hh"
+#include "exp/ArgParse.hh"
+#include "exp/Campaign.hh"
+#include "exp/Report.hh"
+#include "exp/SweepSpec.hh"
+
+namespace spin::bench
+{
+
+/** Which table a figure wrapper prints from the aggregated results. */
+enum class CampaignReport
+{
+    LatencySeries,   ///< per-series latency tables + saturation summary
+    LinkUtilization, ///< Fig. 8b link-cycle breakdown
+    SpinCounts,      ///< Fig. 9 spins / false positives / probes
+};
+
+inline const char *
+campaignUsage()
+{
+    return "options:\n"
+           "  -j, --jobs N    worker threads (default 1)\n"
+           "  --warmup N      override the spec's warmup window\n"
+           "  --measure N     override the spec's measure window\n"
+           "  --fast          quarter-scale warmup/measure\n"
+           "  --seed N        run with the single seed N\n"
+           "  --out DIR       per-cell result dir (default\n"
+           "                  sweep-out/<spec>); enables resume\n"
+           "  --no-cells      do not write per-cell files\n"
+           "  --resume        reuse finished cells from --out\n"
+           "  --json PATH     write the aggregated results JSON\n"
+           "  --progress      per-cell progress on stderr\n"
+           "  --help          this message\n";
+}
+
+/**
+ * Run the named built-in spec(s) and print @p report for each.
+ *
+ * With --json and one spec, the spin-sweep/v1 aggregate is written
+ * as-is; with several specs the campaigns nest under a
+ * spin-sweep-multi/v1 wrapper, in order.
+ *
+ * @return process exit code (0 ok, 1 runtime failure, 2 usage error)
+ */
+inline int
+runCampaignMain(const char *banner,
+                const std::vector<std::string> &specNames,
+                CampaignReport report, int argc, char **argv)
+{
+    std::uint64_t jobs = 1, warmup = 0, measure = 0, seed = 0;
+    bool warmupSet = false, measureSet = false, seedSet = false;
+    bool fast = false, resume = false, progress = false;
+    bool noCells = false, help = false;
+    std::string outDir, jsonPath;
+
+    const std::vector<exp::ArgSpec> specs = {
+        exp::argU64("-j", &jobs),
+        exp::argU64("--jobs", &jobs),
+        exp::argU64("--warmup", &warmup, &warmupSet),
+        exp::argU64("--measure", &measure, &measureSet),
+        exp::argFlag("--fast", &fast),
+        exp::argU64("--seed", &seed, &seedSet),
+        exp::argStr("--out", &outDir),
+        exp::argFlag("--no-cells", &noCells),
+        exp::argFlag("--resume", &resume),
+        exp::argStr("--json", &jsonPath),
+        exp::argFlag("--progress", &progress),
+        exp::argFlag("--help", &help),
+        exp::argFlag("-h", &help),
+    };
+    std::string err;
+    if (!exp::parseArgs(argc, argv, specs, err)) {
+        std::fprintf(stderr, "%s: %s\n%s", argv[0], err.c_str(),
+                     campaignUsage());
+        return 2;
+    }
+    if (help) {
+        std::printf("usage: %s [options]\n%s", argv[0], campaignUsage());
+        return 0;
+    }
+
+    std::printf("%s\n\n", banner);
+
+    obs::JsonValue multi = obs::JsonValue::array();
+    obs::JsonValue single;
+    for (const std::string &name : specNames) {
+        exp::SweepSpec spec;
+        if (!exp::builtinSpec(name, spec)) {
+            std::fprintf(stderr, "%s: unknown built-in spec '%s'\n",
+                         argv[0], name.c_str());
+            return 1;
+        }
+        if (warmupSet)
+            spec.warmup = warmup;
+        if (measureSet)
+            spec.measure = measure;
+        if (fast) {
+            spec.warmup /= 4;
+            spec.measure = std::max<Cycle>(spec.measure / 4, 1);
+        }
+        if (seedSet)
+            spec.seeds = {seed};
+
+        exp::CampaignOptions copt;
+        copt.jobs = static_cast<int>(jobs);
+        copt.resume = resume;
+        copt.progress = progress;
+        if (!noCells) {
+            copt.cellDir = outDir.empty() ? "sweep-out/" + spec.name
+                           : specNames.size() == 1
+                               ? outDir
+                               : outDir + "/" + spec.name;
+        }
+
+        std::printf("== spec '%s' (%s), %zu cells, %llu jobs ==\n",
+                    spec.name.c_str(), spec.topology.c_str(),
+                    spec.expand().size(),
+                    static_cast<unsigned long long>(jobs));
+
+        exp::Campaign campaign(spec, copt);
+        obs::JsonValue results;
+        try {
+            results = campaign.run();
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+            return 1;
+        }
+
+        switch (report) {
+          case CampaignReport::LatencySeries:
+            exp::printSeries(results);
+            exp::printSaturationSummary(results);
+            break;
+          case CampaignReport::LinkUtilization:
+            exp::printLinkUtilization(results);
+            break;
+          case CampaignReport::SpinCounts:
+            exp::printSpinCounts(results);
+            break;
+        }
+
+        const exp::CampaignPerf &perf = campaign.perf();
+        std::printf("\n== campaign '%s': %zu cells (%zu simulated, %zu "
+                    "cached) in %.2fs -> %.2f cells/s ==\n\n",
+                    spec.name.c_str(), perf.cells, perf.cellsSimulated,
+                    perf.cellsCached, perf.wallSeconds,
+                    perf.cellsPerSec());
+
+        if (specNames.size() == 1)
+            single = std::move(results);
+        else
+            multi.push(std::move(results));
+    }
+
+    if (!jsonPath.empty()) {
+        obs::JsonValue doc;
+        if (specNames.size() == 1) {
+            doc = std::move(single);
+        } else {
+            doc = obs::JsonValue::object();
+            doc.set("schema", obs::JsonValue("spin-sweep-multi/v1"));
+            doc.set("campaigns", std::move(multi));
+        }
+        if (!exp::writeJsonFile(jsonPath, doc))
+            return 1;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return 0;
+}
+
+} // namespace spin::bench
+
+#endif // SPINNOC_BENCH_CAMPAIGNBENCH_HH

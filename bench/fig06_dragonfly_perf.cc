@@ -4,7 +4,9 @@
  * off-chip dragonfly (p=4, a=8, h=4, g=32; 1-cycle local, 3-cycle
  * global links). 3-VC pair: UGAL with Dally VC-ordering avoidance vs
  * UGAL + SPIN with free VC use; 1-VC pair: minimal adaptive + SPIN vs
- * FAvORS-NMin + SPIN.
+ * FAvORS-NMin + SPIN. Thin wrapper over the built-in `fig06` sweep
+ * spec; run with -jN for a worker pool, --resume to continue an
+ * interrupted campaign (see docs/SWEEP.md).
  *
  * Expected shape (paper Sec. VI-C): UGAL+SPIN saturates markedly higher
  * than VC-ordered UGAL on bit-complement / tornado / neighbor;
@@ -12,62 +14,13 @@
  * on transpose/neighbor.
  */
 
-#include "bench/BenchUtil.hh"
-#include "topology/Dragonfly.hh"
-
-using namespace spin;
-using namespace spin::bench;
+#include "bench/CampaignBench.hh"
 
 int
 main(int argc, char **argv)
 {
-    Options opt = Options::parse(argc, argv);
-    // The 1024-node network is ~20x the mesh's per-cycle cost; keep the
-    // default windows tighter than the mesh bench.
-    if (opt.warmup == 2000 && opt.measure == 4000) {
-        opt.warmup = 1200;
-        opt.measure = 2000;
-    }
-    auto topo = std::make_shared<Topology>(makePaperDragonfly());
-
-    const std::vector<Pattern> patterns = {
-        Pattern::UniformRandom, Pattern::BitComplement,
-        Pattern::Transpose, Pattern::Tornado, Pattern::Neighbor,
-    };
-
-    std::vector<ConfigPreset> presets = dragonflyPresets3Vc();
-    for (ConfigPreset &p : dragonflyPresets1Vc())
-        presets.push_back(p);
-    for (ConfigPreset &p : presets)
-        opt.apply(p);
-
-    std::printf("=== Fig. 6: 1024-node dragonfly latency vs injection "
-                "rate ===\n\n");
-    struct SatRow
-    {
-        std::string config, pattern;
-        double sat;
-    };
-    std::vector<SatRow> summary;
-    BenchReporter report("fig06_dragonfly_perf", opt);
-    TraceAttacher attach(opt.tracePath);
-
-    for (const Pattern pat : patterns) {
-        const auto rates = rateLadder(0.02, 0.32, opt.fast ? 4 : 6);
-        for (const ConfigPreset &preset : presets) {
-            const SweepResult res =
-                sweep(preset, topo, pat, rates, opt, 600.0,
-                      [&](Network &n) { attach(n); });
-            report.addSweep(preset.name, toString(pat), res);
-            summary.push_back({preset.name, toString(pat),
-                               res.saturationRate});
-        }
-    }
-
-    std::printf("=== Saturation-throughput summary (flits/node/cycle) "
-                "===\n%-24s %-16s %8s\n", "config", "pattern", "sat");
-    for (const auto &r : summary)
-        std::printf("%-24s %-16s %8.3f\n", r.config.c_str(),
-                    r.pattern.c_str(), r.sat);
-    return report.writeIfRequested(opt) ? 0 : 1;
+    return spin::bench::runCampaignMain(
+        "=== Fig. 6: 1024-node dragonfly latency vs injection rate ===",
+        {"fig06"}, spin::bench::CampaignReport::LatencySeries, argc,
+        argv);
 }

@@ -4,7 +4,9 @@
  * mesh for the Table III designs -- WestFirst_3VC, EscapeVC_3VC,
  * StaticBubble_3VC, MinAdaptive_3VC_SPIN, and the 1-VC pair
  * WestFirst_1VC vs FAvORS_Min_1VC_SPIN -- across the paper's synthetic
- * patterns.
+ * patterns. Thin wrapper over the built-in `fig07` sweep spec; run
+ * with -jN for a worker pool, --resume to continue an interrupted
+ * campaign (see docs/SWEEP.md).
  *
  * Expected shape (paper Sec. VI-D): SPIN's unrestricted adaptivity
  * saturates at equal or higher rates than west-first and escape-VC on
@@ -13,55 +15,12 @@
  * and ties on uniform random.
  */
 
-#include "bench/BenchUtil.hh"
-#include "topology/Mesh.hh"
-
-using namespace spin;
-using namespace spin::bench;
+#include "bench/CampaignBench.hh"
 
 int
 main(int argc, char **argv)
 {
-    const Options opt = Options::parse(argc, argv);
-    auto topo = std::make_shared<Topology>(makeMesh(8, 8));
-
-    const std::vector<Pattern> patterns = {
-        Pattern::UniformRandom, Pattern::Transpose, Pattern::BitReverse,
-        Pattern::BitRotation, Pattern::Tornado,
-    };
-
-    std::vector<ConfigPreset> presets = meshPresets3Vc();
-    for (ConfigPreset &p : meshPresets1Vc())
-        presets.push_back(p);
-    for (ConfigPreset &p : presets)
-        opt.apply(p);
-
-    std::printf("=== Fig. 7: 8x8 mesh latency vs injection rate ===\n\n");
-    struct SatRow
-    {
-        std::string config, pattern;
-        double sat;
-    };
-    std::vector<SatRow> summary;
-    BenchReporter report("fig07_mesh_perf", opt);
-    TraceAttacher attach(opt.tracePath);
-
-    for (const Pattern pat : patterns) {
-        const auto rates = rateLadder(0.02, 0.62, opt.fast ? 5 : 11);
-        for (const ConfigPreset &preset : presets) {
-            const SweepResult res =
-                sweep(preset, topo, pat, rates, opt, 400.0,
-                      [&](Network &n) { attach(n); });
-            report.addSweep(preset.name, toString(pat), res);
-            summary.push_back({preset.name, toString(pat),
-                               res.saturationRate});
-        }
-    }
-
-    std::printf("=== Saturation-throughput summary (flits/node/cycle) "
-                "===\n%-24s %-16s %8s\n", "config", "pattern", "sat");
-    for (const auto &r : summary)
-        std::printf("%-24s %-16s %8.3f\n", r.config.c_str(),
-                    r.pattern.c_str(), r.sat);
-    return report.writeIfRequested(opt) ? 0 : 1;
+    return spin::bench::runCampaignMain(
+        "=== Fig. 7: 8x8 mesh latency vs injection rate ===", {"fig07"},
+        spin::bench::CampaignReport::LatencySeries, argc, argv);
 }

@@ -3,71 +3,22 @@
  * Reproduces Fig. 8(b): link-utilization breakdown (flits, probe SMs,
  * move-class SMs, idle) on the 8x8 mesh with 3 VCs and minimal adaptive
  * routing + SPIN, under uniform random traffic at low (0.01), medium
- * (0.2) and high (0.5) injection rates.
+ * (0.2) and high (0.5) injection rates. Thin wrapper over the built-in
+ * `fig08b` sweep spec (see docs/SWEEP.md).
  *
  * Expected shape: no SMs at low load; a few percent of probe cycles at
  * medium/high load; combined SM utilization never past ~5%; flit
  * utilization *drops* at high load as deadlocks idle the links.
  */
 
-#include "bench/BenchUtil.hh"
-#include "topology/Mesh.hh"
-
-using namespace spin;
-using namespace spin::bench;
+#include "bench/CampaignBench.hh"
 
 int
 main(int argc, char **argv)
 {
-    const Options opt = Options::parse(argc, argv);
-    const Cycle warm = opt.fast ? 500 : 2000;
-    const Cycle meas = opt.fast ? 2000 : 10000;
-    auto topo = std::make_shared<Topology>(makeMesh(8, 8));
-    ConfigPreset preset = meshPresets3Vc()[3]; // MinAdaptive+SPIN
-    opt.apply(preset);
-
-    BenchReporter report("fig08b_link_utilization", opt);
-    TraceAttacher attach(opt.tracePath);
-    obs::JsonValue rows = obs::JsonValue::array();
-
-    std::printf("=== Fig. 8b: link utilization breakdown, 8x8 mesh, "
-                "MinAdaptive_3VC_SPIN, uniform random ===\n");
-    std::printf("%8s %10s %10s %10s %10s %10s\n", "rate", "flit%",
-                "probe%", "move%", "sm-total%", "idle%");
-
-    for (const double rate : {0.01, 0.2, 0.5}) {
-        auto net = preset.build(topo);
-        attach(*net);
-        net->enableSampling();
-        InjectorConfig icfg;
-        icfg.injectionRate = rate;
-        SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
-        for (Cycle i = 0; i < warm; ++i) {
-            inj.tick();
-            net->step();
-        }
-        net->beginMeasurement();
-        for (Cycle i = 0; i < meas; ++i) {
-            inj.tick();
-            net->step();
-        }
-        const LinkUsage u = net->linkUsage();
-        std::printf("%8.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n", rate,
-                    100 * u.frac(u.flitCycles),
-                    100 * u.frac(u.probeCycles),
-                    100 * u.frac(u.moveCycles),
-                    100 * (u.frac(u.probeCycles) + u.frac(u.moveCycles)),
-                    100 * u.frac(u.idleCycles));
-
-        obs::JsonValue row = obs::JsonValue::object();
-        row.set("rate", obs::JsonValue(rate));
-        row.set("flitFrac", obs::JsonValue(u.frac(u.flitCycles)));
-        row.set("probeFrac", obs::JsonValue(u.frac(u.probeCycles)));
-        row.set("moveFrac", obs::JsonValue(u.frac(u.moveCycles)));
-        row.set("idleFrac", obs::JsonValue(u.frac(u.idleCycles)));
-        row.set("stats", net->stats().toJson());
-        rows.push(std::move(row));
-    }
-    report.add("linkUtilization", std::move(rows));
-    return report.writeIfRequested(opt) ? 0 : 1;
+    return spin::bench::runCampaignMain(
+        "=== Fig. 8b: link utilization breakdown, 8x8 mesh, "
+        "MinAdaptive_3VC_SPIN, uniform random ===",
+        {"fig08b"}, spin::bench::CampaignReport::LinkUtilization, argc,
+        argv);
 }

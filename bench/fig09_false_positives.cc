@@ -2,7 +2,10 @@
  * @file
  * Reproduces Fig. 9: spins and false-positive spins as a function of
  * injection rate, for 1-VC and 3-VC designs on the 8x8 mesh (uniform
- * random) and the 1024-node dragonfly (bit complement).
+ * random) and the 1024-node dragonfly (bit complement). Thin wrapper
+ * over the built-in `fig09-mesh` and `fig09-dragonfly` sweep specs
+ * (see docs/SWEEP.md); the spin counters accumulate over the whole
+ * run (warmup 0 in both specs).
  *
  * Expected shape: zero false positives for 1-VC designs (probe forking
  * cannot happen); mesh-3VC shows false positives only at high load;
@@ -10,101 +13,13 @@
  * 1-VC design (more VCs, fewer deadlocks) at comparable rates.
  */
 
-#include "bench/BenchUtil.hh"
-#include "topology/Dragonfly.hh"
-#include "topology/Mesh.hh"
-
-using namespace spin;
-using namespace spin::bench;
-
-namespace
-{
-
-obs::JsonValue
-spinSweep(const char *label, const std::shared_ptr<const Topology> &topo,
-          RoutingKind kind, int vcs, Pattern pattern,
-          const std::vector<double> &rates, Cycle cycles,
-          const Options &opt)
-{
-    obs::JsonValue block = obs::JsonValue::object();
-    block.set("label", obs::JsonValue(label));
-    block.set("vcsPerVnet", obs::JsonValue(vcs));
-    block.set("pattern", obs::JsonValue(toString(pattern)));
-    obs::JsonValue rows = obs::JsonValue::array();
-    std::printf("--- %s (%d VC/vnet, %s, %llu cycles) ---\n", label, vcs,
-                toString(pattern).c_str(),
-                static_cast<unsigned long long>(cycles));
-    std::printf("%8s %10s %14s %12s %12s\n", "rate", "spins",
-                "false-pos", "probes", "probe-ret");
-    for (const double rate : rates) {
-        NetworkConfig cfg;
-        cfg.vnets = 1;
-        cfg.vcsPerVnet = vcs;
-        cfg.vcDepth = 5;
-        cfg.maxPacketSize = 5;
-        cfg.scheme = DeadlockScheme::Spin;
-        if (opt.seedSet)
-            cfg.seed = opt.seed;
-        auto net = buildNetwork(topo, cfg, kind);
-        InjectorConfig icfg;
-        icfg.injectionRate = rate;
-        SyntheticInjector inj(*net, pattern, icfg);
-        for (Cycle i = 0; i < cycles; ++i) {
-            inj.tick();
-            net->step();
-        }
-        const Stats &st = net->stats();
-        std::printf("%8.2f %10llu %14llu %12llu %12llu\n", rate,
-                    static_cast<unsigned long long>(st.spins),
-                    static_cast<unsigned long long>(st.falsePositiveSpins),
-                    static_cast<unsigned long long>(st.probesSent),
-                    static_cast<unsigned long long>(st.probesReturned));
-        obs::JsonValue row = obs::JsonValue::object();
-        row.set("rate", obs::JsonValue(rate));
-        row.set("spins", obs::JsonValue(st.spins));
-        row.set("falsePositiveSpins", obs::JsonValue(st.falsePositiveSpins));
-        row.set("probesSent", obs::JsonValue(st.probesSent));
-        row.set("probesReturned", obs::JsonValue(st.probesReturned));
-        rows.push(std::move(row));
-    }
-    std::printf("\n");
-    block.set("rows", std::move(rows));
-    return block;
-}
-
-} // namespace
+#include "bench/CampaignBench.hh"
 
 int
 main(int argc, char **argv)
 {
-    const Options opt = Options::parse(argc, argv);
-    const Cycle mesh_cycles = opt.fast ? 5000 : 20000;
-    const Cycle dfly_cycles = opt.fast ? 2000 : 6000;
-
-    std::printf("=== Fig. 9: spins and false positives vs injection "
-                "rate ===\n\n");
-
-    BenchReporter report("fig09_false_positives", opt);
-    obs::JsonValue blocks = obs::JsonValue::array();
-
-    auto mesh = std::make_shared<Topology>(makeMesh(8, 8));
-    const std::vector<double> mesh_rates{0.05, 0.15, 0.25, 0.35, 0.45};
-    blocks.push(spinSweep("8x8 mesh", mesh, RoutingKind::MinimalAdaptive,
-                          1, Pattern::UniformRandom, mesh_rates,
-                          mesh_cycles, opt));
-    blocks.push(spinSweep("8x8 mesh", mesh, RoutingKind::MinimalAdaptive,
-                          3, Pattern::UniformRandom, mesh_rates,
-                          mesh_cycles, opt));
-
-    auto dfly = std::make_shared<Topology>(makePaperDragonfly());
-    const std::vector<double> dfly_rates{0.05, 0.15, 0.25};
-    blocks.push(spinSweep("1024-node dragonfly", dfly,
-                          RoutingKind::MinimalAdaptive, 1,
-                          Pattern::BitComplement, dfly_rates, dfly_cycles,
-                          opt));
-    blocks.push(spinSweep("1024-node dragonfly", dfly,
-                          RoutingKind::UgalSpin, 3, Pattern::BitComplement,
-                          dfly_rates, dfly_cycles, opt));
-    report.add("spinSweeps", std::move(blocks));
-    return report.writeIfRequested(opt) ? 0 : 1;
+    return spin::bench::runCampaignMain(
+        "=== Fig. 9: spins and false positives vs injection rate ===",
+        {"fig09-mesh", "fig09-dragonfly"},
+        spin::bench::CampaignReport::SpinCounts, argc, argv);
 }

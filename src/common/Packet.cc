@@ -38,11 +38,11 @@ Flit::toString() const
     return os.str();
 }
 
-std::vector<Flit>
-makeFlits(const PacketPtr &pkt)
+void
+makeFlitsInto(const PacketPtr &pkt, std::vector<Flit> &flits)
 {
     SPIN_ASSERT(pkt && pkt->sizeFlits >= 1, "bad packet");
-    std::vector<Flit> flits;
+    flits.clear();
     flits.reserve(pkt->sizeFlits);
     for (int i = 0; i < pkt->sizeFlits; ++i) {
         FlitType t;
@@ -56,6 +56,13 @@ makeFlits(const PacketPtr &pkt)
             t = FlitType::Body;
         flits.push_back(Flit{pkt, t, i});
     }
+}
+
+std::vector<Flit>
+makeFlits(const PacketPtr &pkt)
+{
+    std::vector<Flit> flits;
+    makeFlitsInto(pkt, flits);
     return flits;
 }
 

@@ -99,6 +99,8 @@ struct Flit
  * @return vector of sizeFlits flits with correct head/body/tail types
  */
 std::vector<Flit> makeFlits(const PacketPtr &pkt);
+/** Like makeFlits() but fills @p flits, reusing its capacity. */
+void makeFlitsInto(const PacketPtr &pkt, std::vector<Flit> &flits);
 
 } // namespace spin
 

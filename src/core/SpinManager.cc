@@ -76,6 +76,9 @@ SpinManager::scheduleSend(Cycle when, SmSend send)
 void
 SpinManager::smPhase(Cycle now)
 {
+    if (smsInFlight_ == 0 && scheduled_.empty())
+        return; // no SM anywhere: nothing below can fire
+
     // 1. Collect arrivals across all links.
     struct Arrival
     {
@@ -84,13 +87,17 @@ SpinManager::smPhase(Cycle now)
         SpecialMsg sm;
     };
     std::vector<Arrival> arrivals;
-    for (int li = 0; li < static_cast<int>(smLines_.size()); ++li) {
-        if (smLines_[li].empty())
-            continue;
-        const LinkSpec &spec = net_.link(li).spec();
-        for (SpecialMsg &sm : smLines_[li].drain(now))
-            arrivals.push_back(Arrival{spec.dst, spec.dstPort,
-                                       std::move(sm)});
+    if (smsInFlight_ != 0) {
+        for (int li = 0; li < static_cast<int>(smLines_.size()); ++li) {
+            if (smLines_[li].empty())
+                continue;
+            const LinkSpec &spec = net_.link(li).spec();
+            for (SpecialMsg &sm : smLines_[li].drain(now)) {
+                arrivals.push_back(Arrival{spec.dst, spec.dstPort,
+                                           std::move(sm)});
+                --smsInFlight_;
+            }
+        }
     }
 
     std::vector<SmSend> sends;
@@ -172,6 +179,7 @@ SpinManager::launch(std::vector<SmSend> &sends, Cycle now)
             link.occupySm(now, win.sm.type == SmType::Probe
                           ? LinkUse::Probe : LinkUse::Move);
             smLines_[li].push(now + link.latency(), std::move(win.sm));
+            ++smsInFlight_;
             st.smContentionDrops += j - i - 1;
         } else {
             // Should not happen: requests only ever target wired ports.

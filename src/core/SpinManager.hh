@@ -72,6 +72,9 @@ class SpinManager
     std::vector<SpinUnit *> units_;
     /** Per-link SM pipelines, indexed like Network's link array. */
     std::vector<DelayLine<SpecialMsg>> smLines_;
+    /** SMs currently inside smLines_; lets smPhase() skip the
+     *  per-link scan in the (overwhelmingly common) no-SM cycles. */
+    int smsInFlight_ = 0;
     /** FSM-scheduled future emissions. */
     std::vector<std::pair<Cycle, SmSend>> scheduled_;
 

@@ -1,0 +1,197 @@
+#include "exp/ArgParse.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace spin::exp
+{
+
+ArgSpec
+argU64(const char *name, std::uint64_t *dst, bool *seen)
+{
+    ArgSpec s;
+    s.name = name;
+    s.kind = ArgSpec::Kind::U64;
+    s.u64 = dst;
+    s.seen = seen;
+    return s;
+}
+
+ArgSpec
+argF64(const char *name, double *dst, bool *seen)
+{
+    ArgSpec s;
+    s.name = name;
+    s.kind = ArgSpec::Kind::F64;
+    s.f64 = dst;
+    s.seen = seen;
+    return s;
+}
+
+ArgSpec
+argStr(const char *name, std::string *dst, bool *seen)
+{
+    ArgSpec s;
+    s.name = name;
+    s.kind = ArgSpec::Kind::Str;
+    s.str = dst;
+    s.seen = seen;
+    return s;
+}
+
+ArgSpec
+argFlag(const char *name, bool *dst, bool *seen)
+{
+    ArgSpec s;
+    s.name = name;
+    s.kind = ArgSpec::Kind::Flag;
+    s.flag = dst;
+    s.seen = seen;
+    return s;
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseF64(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+namespace
+{
+
+bool
+applyValue(const ArgSpec &spec, const std::string &value, std::string &err)
+{
+    switch (spec.kind) {
+      case ArgSpec::Kind::U64:
+        if (!parseU64(value, *spec.u64)) {
+            err = "invalid integer for " + spec.name + ": '" + value + "'";
+            return false;
+        }
+        return true;
+      case ArgSpec::Kind::F64:
+        if (!parseF64(value, *spec.f64)) {
+            err = "invalid number for " + spec.name + ": '" + value + "'";
+            return false;
+        }
+        return true;
+      case ArgSpec::Kind::Str:
+        *spec.str = value;
+        return true;
+      case ArgSpec::Kind::Flag:
+        err = spec.name + " takes no value";
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+parseArgs(int argc, char **argv, const std::vector<ArgSpec> &specs,
+          std::string &err)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.empty() || arg[0] != '-') {
+            err = "unexpected positional argument: '" + arg + "'";
+            return false;
+        }
+
+        std::string name = arg;
+        std::string inlineValue;
+        bool hasInline = false;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            inlineValue = arg.substr(eq + 1);
+            hasInline = true;
+        }
+
+        const ArgSpec *spec = nullptr;
+        for (const ArgSpec &s : specs) {
+            if (s.name == name) {
+                spec = &s;
+                break;
+            }
+        }
+        // Short-option attached value: "-j4" means "-j 4".
+        if (!spec && !hasInline && name.size() > 2 && name[1] != '-') {
+            const std::string shortName = name.substr(0, 2);
+            for (const ArgSpec &s : specs) {
+                if (s.name == shortName &&
+                    s.kind != ArgSpec::Kind::Flag) {
+                    spec = &s;
+                    name = shortName;
+                    inlineValue = arg.substr(2);
+                    hasInline = true;
+                    break;
+                }
+            }
+        }
+        if (!spec) {
+            err = "unknown flag: " + name;
+            return false;
+        }
+        if (spec->seen)
+            *spec->seen = true;
+
+        if (spec->kind == ArgSpec::Kind::Flag) {
+            if (hasInline) {
+                err = name + " takes no value";
+                return false;
+            }
+            if (spec->flag)
+                *spec->flag = true;
+            continue;
+        }
+
+        std::string value;
+        if (hasInline) {
+            value = inlineValue;
+        } else {
+            if (i + 1 >= argc) {
+                err = "missing value for " + name;
+                return false;
+            }
+            value = argv[++i];
+            // A '--'-prefixed token after a valued flag is almost
+            // certainly a forgotten value, not a value that happens to
+            // look like a flag; failing loudly beats silently consuming
+            // the next option.
+            if (value.rfind("--", 0) == 0) {
+                err = "missing value for " + name + " (found flag '" +
+                      value + "' instead)";
+                return false;
+            }
+        }
+        if (!applyValue(*spec, value, err))
+            return false;
+    }
+    return true;
+}
+
+} // namespace spin::exp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Declarative command-line parsing shared by the bench harness
+ * (bench/BenchUtil.hh) and the campaign runner (tools/spin_sweep).
+ *
+ * The contract every tool built on this gets for free:
+ *  - unknown `--flags` are fatal, anywhere on the line;
+ *  - bare positional arguments are fatal (no tool here takes any);
+ *  - a flag that needs a value never silently swallows the next flag
+ *    (`--warmup --fast` is an error, not warmup=0 plus a lost --fast);
+ *  - numeric values are validated end-to-end (`--warmup 10x` is an
+ *    error, not 10);
+ *  - `--name value` and `--name=value` are both accepted.
+ *
+ * Parsing never exits or throws; callers print `err` with their usage
+ * text and choose the exit code.
+ */
+
+#ifndef SPINNOC_EXP_ARGPARSE_HH
+#define SPINNOC_EXP_ARGPARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spin::exp
+{
+
+/** One accepted flag and where its value lands. */
+struct ArgSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        U64,  //!< unsigned integer value
+        F64,  //!< floating-point value
+        Str,  //!< string value
+        Flag, //!< boolean, no value
+    };
+
+    std::string name; //!< including the leading "--"
+    Kind kind = Kind::Flag;
+
+    std::uint64_t *u64 = nullptr;
+    double *f64 = nullptr;
+    std::string *str = nullptr;
+    bool *flag = nullptr;
+    /** Optional: set true when the flag appeared. */
+    bool *seen = nullptr;
+};
+
+/// @name Spec constructors
+/// @{
+ArgSpec argU64(const char *name, std::uint64_t *dst, bool *seen = nullptr);
+ArgSpec argF64(const char *name, double *dst, bool *seen = nullptr);
+ArgSpec argStr(const char *name, std::string *dst, bool *seen = nullptr);
+ArgSpec argFlag(const char *name, bool *dst, bool *seen = nullptr);
+/// @}
+
+/** Strict full-string unsigned parse (no trailing garbage, no sign). */
+bool parseU64(const std::string &text, std::uint64_t &out);
+/** Strict full-string double parse. */
+bool parseF64(const std::string &text, double &out);
+
+/**
+ * Parse @p argv[1..] against @p specs. Returns false with @p err set on
+ * the first violation of the contract in the file comment. `--help` and
+ * `-h` are NOT special-cased here; tools that want them list a Flag.
+ */
+bool parseArgs(int argc, char **argv, const std::vector<ArgSpec> &specs,
+               std::string &err);
+
+} // namespace spin::exp
+
+#endif // SPINNOC_EXP_ARGPARSE_HH

@@ -1,0 +1,329 @@
+#include "exp/Campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+#include "traffic/SyntheticInjector.hh"
+
+namespace spin::exp
+{
+
+namespace
+{
+
+/** Spec fingerprint stamped into cell files to invalidate stale caches. */
+std::string
+specFingerprint(const SweepSpec &spec)
+{
+    const std::string text = spec.toJson().dump(0);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+obs::JsonValue
+CampaignPerf::toJson() const
+{
+    using obs::JsonValue;
+    JsonValue o = JsonValue::object();
+    o.set("wallSeconds", JsonValue(wallSeconds));
+    o.set("cells", JsonValue(static_cast<std::uint64_t>(cells)));
+    o.set("cellsSimulated",
+          JsonValue(static_cast<std::uint64_t>(cellsSimulated)));
+    o.set("cellsCached",
+          JsonValue(static_cast<std::uint64_t>(cellsCached)));
+    o.set("cyclesSimulated", JsonValue(cyclesSimulated));
+    o.set("cellsPerSec", JsonValue(cellsPerSec()));
+    o.set("cyclesPerSec", JsonValue(cyclesPerSec()));
+    return o;
+}
+
+Campaign::Campaign(SweepSpec spec, CampaignOptions opt)
+    : spec_(std::move(spec)), opt_(std::move(opt))
+{
+    const std::string verr = spec_.validate();
+    if (!verr.empty())
+        SPIN_FATAL(verr);
+    if (opt_.jobs < 1)
+        opt_.jobs = 1;
+    if (opt_.jobs > 64)
+        opt_.jobs = 64;
+}
+
+obs::JsonValue
+Campaign::runCell(const SweepSpec &spec, const Cell &cell,
+                  const std::shared_ptr<const Topology> &topo)
+{
+    const ConfigPreset *reg = findPreset(cell.preset);
+    SPIN_ASSERT(reg, "cell references unknown preset ", cell.preset);
+    ConfigPreset preset = *reg;
+    preset.cfg.seed = cell.netSeed;
+
+    auto net = preset.build(topo);
+    InjectorConfig icfg;
+    icfg.injectionRate = cell.rate;
+    icfg.seed = cell.netSeed + 1;
+    SyntheticInjector inj(*net, cell.pattern, icfg);
+
+    for (Cycle i = 0; i < spec.warmup; ++i) {
+        inj.tick();
+        net->step();
+    }
+    net->beginMeasurement();
+    for (Cycle i = 0; i < spec.measure; ++i) {
+        inj.tick();
+        net->step();
+    }
+
+    const double latency = net->stats().avgLatency();
+    const double throughput =
+        net->stats().throughput(net->numNodes(), net->now());
+    const bool saturated =
+        latency > spec.latencyCap || throughput < 0.9 * cell.rate;
+
+    using obs::JsonValue;
+    JsonValue c = JsonValue::object();
+    c.set("cell", JsonValue(cell.id));
+    c.set("index", JsonValue(static_cast<std::uint64_t>(cell.index)));
+    c.set("preset", JsonValue(cell.preset));
+    c.set("pattern", JsonValue(toString(cell.pattern)));
+    c.set("rate", JsonValue(cell.rate));
+    c.set("seed", JsonValue(cell.seed));
+    c.set("netSeed", JsonValue(cell.netSeed));
+    c.set("latency", JsonValue(latency));
+    c.set("netLatency", JsonValue(net->stats().avgNetLatency()));
+    c.set("throughput", JsonValue(throughput));
+    c.set("saturated", JsonValue(saturated));
+    c.set("stats", net->stats().toJson());
+
+    const LinkUsage u = net->linkUsage();
+    JsonValue lu = JsonValue::object();
+    lu.set("flitCycles", JsonValue(u.flitCycles));
+    lu.set("probeCycles", JsonValue(u.probeCycles));
+    lu.set("moveCycles", JsonValue(u.moveCycles));
+    lu.set("idleCycles", JsonValue(u.idleCycles));
+    lu.set("totalCycles", JsonValue(u.totalCycles));
+    c.set("linkUsage", std::move(lu));
+    return c;
+}
+
+std::string
+Campaign::cellPath(const Cell &cell) const
+{
+    return opt_.cellDir + "/" + cell.id + ".json";
+}
+
+obs::JsonValue
+Campaign::loadCached(const Cell &cell) const
+{
+    std::ifstream is(cellPath(cell));
+    if (!is)
+        return {};
+    std::ostringstream text;
+    text << is.rdbuf();
+    const obs::JsonValue doc = obs::JsonValue::parse(text.str());
+    if (!doc.isObject())
+        return {};
+    const obs::JsonValue *id = doc.find("cell");
+    const obs::JsonValue *fp = doc.find("specFingerprint");
+    const obs::JsonValue *stats = doc.find("stats");
+    if (!id || !id->isString() || id->asString() != cell.id || !fp ||
+        !fp->isString() || fp->asString() != specFingerprint(spec_) ||
+        !stats || !stats->isObject()) {
+        return {};
+    }
+    return doc;
+}
+
+bool
+Campaign::storeCell(const Cell &cell, const obs::JsonValue &result) const
+{
+    const std::string path = cellPath(cell);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            return false;
+        os << result.dump(2) << '\n';
+        if (!os)
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    return !ec;
+}
+
+obs::JsonValue
+Campaign::run()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    perf_ = CampaignPerf{};
+
+    std::string terr;
+    const std::shared_ptr<const Topology> topo =
+        makeTopologyByName(spec_.topology, terr);
+    if (!topo)
+        SPIN_FATAL(terr);
+
+    const std::vector<Cell> cells = spec_.expand();
+    perf_.cells = cells.size();
+    std::vector<obs::JsonValue> results(cells.size());
+    const std::string fingerprint = specFingerprint(spec_);
+
+    if (!opt_.cellDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt_.cellDir, ec);
+        if (ec)
+            SPIN_FATAL("cannot create cell directory ", opt_.cellDir,
+                       ": ", ec.message());
+    }
+
+    // Resume pass: reload finished cells; anything else gets simulated.
+    std::vector<std::size_t> pending;
+    pending.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        if (opt_.resume && !opt_.cellDir.empty()) {
+            obs::JsonValue cached = loadCached(cell);
+            if (cached.isObject()) {
+                results[cell.index] = std::move(cached);
+                ++perf_.cellsCached;
+                continue;
+            }
+        }
+        pending.push_back(cell.index);
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex errMutex;
+    std::string firstError;
+    std::mutex logMutex;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t slot = next.fetch_add(1);
+            if (slot >= pending.size())
+                return;
+            const Cell &cell = cells[pending[slot]];
+            try {
+                obs::JsonValue r = runCell(spec_, cell, topo);
+                r.set("specFingerprint", obs::JsonValue(fingerprint));
+                if (!opt_.cellDir.empty() && !storeCell(cell, r)) {
+                    std::lock_guard<std::mutex> lock(errMutex);
+                    if (firstError.empty())
+                        firstError =
+                            "cannot write cell file " + cellPath(cell);
+                }
+                results[cell.index] = std::move(r);
+                cycles.fetch_add(spec_.warmup + spec_.measure);
+                const std::size_t n = done.fetch_add(1) + 1;
+                if (opt_.progress) {
+                    std::lock_guard<std::mutex> lock(logMutex);
+                    std::fprintf(stderr, "[%zu/%zu] %s\n", n,
+                                 pending.size(), cell.id.c_str());
+                }
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (firstError.empty())
+                    firstError = "cell " + cell.id + ": " + e.what();
+                return;
+            }
+        }
+    };
+
+    const int jobs = static_cast<int>(
+        std::min<std::size_t>(opt_.jobs, std::max<std::size_t>(
+                                             pending.size(), 1)));
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (int j = 0; j < jobs; ++j)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    if (!firstError.empty())
+        SPIN_FATAL("campaign '", spec_.name, "' failed: ", firstError);
+
+    perf_.cellsSimulated = pending.size();
+    perf_.cyclesSimulated = cycles.load();
+
+    // ------------------------------------------------------------------
+    // Deterministic aggregation: expansion order only, no wall clock.
+    // ------------------------------------------------------------------
+    using obs::JsonValue;
+    JsonValue root = JsonValue::object();
+    root.set("schema", JsonValue("spin-sweep/v1"));
+    root.set("spec", spec_.toJson());
+
+    JsonValue cellArr = JsonValue::array();
+    for (const Cell &cell : cells) {
+        SPIN_ASSERT(results[cell.index].isObject(),
+                    "missing result for cell ", cell.id);
+        cellArr.push(results[cell.index]); // copy; series built below
+    }
+    root.set("cells", std::move(cellArr));
+
+    // One series per (preset, pattern, seed): the latency/throughput
+    // curve plus its estimated saturation rate, mirroring
+    // bench::SweepResult so figure tables can be printed from this.
+    JsonValue series = JsonValue::array();
+    for (const std::string &preset : spec_.presets) {
+        for (const Pattern pattern : spec_.patterns) {
+            for (const std::uint64_t seed : spec_.seeds) {
+                JsonValue s = JsonValue::object();
+                s.set("preset", JsonValue(preset));
+                s.set("pattern", JsonValue(toString(pattern)));
+                s.set("seed", JsonValue(seed));
+                JsonValue points = JsonValue::array();
+                double saturation = 0.0;
+                for (const Cell &cell : cells) {
+                    if (cell.preset != preset ||
+                        cell.pattern != pattern || cell.seed != seed) {
+                        continue;
+                    }
+                    const JsonValue &r = results[cell.index];
+                    JsonValue p = JsonValue::object();
+                    p.set("rate", JsonValue(cell.rate));
+                    p.set("latency", r["latency"]);
+                    p.set("throughput", r["throughput"]);
+                    p.set("saturated", r["saturated"]);
+                    if (!r["saturated"].asBool())
+                        saturation = std::max(saturation, cell.rate);
+                    points.push(std::move(p));
+                }
+                s.set("points", std::move(points));
+                s.set("saturationRate", JsonValue(saturation));
+                series.push(std::move(s));
+            }
+        }
+    }
+    root.set("series", std::move(series));
+
+    perf_.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return root;
+}
+
+} // namespace spin::exp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-threaded experiment-campaign runner.
+ *
+ * Every cell of a SweepSpec is an independent simulation: one Network,
+ * one injector, a warmup window and a measurement window. Workers pull
+ * cells from a shared counter; because each cell's RNG seed is derived
+ * from its coordinates alone (SweepSpec), the aggregated results are
+ * bit-identical for any worker count -- aggregation always walks cells
+ * in expansion order, and wall-clock timing lives outside the
+ * deterministic document.
+ *
+ * Resume: with a cell directory configured, each finished cell is
+ * written to `<dir>/<cell-id>.json` (atomically, via rename). A later
+ * run of the same spec with resume enabled reloads those files instead
+ * of re-simulating; mixing cached and fresh cells cannot change the
+ * aggregate because cached results are themselves the deterministic
+ * per-cell documents.
+ */
+
+#ifndef SPINNOC_EXP_CAMPAIGN_HH
+#define SPINNOC_EXP_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exp/SweepSpec.hh"
+#include "obs/Json.hh"
+
+namespace spin::exp
+{
+
+/** Runner knobs (everything outside the deterministic spec). */
+struct CampaignOptions
+{
+    /** Worker threads; clamped to [1, 64]. 1 runs inline. */
+    int jobs = 1;
+    /** Per-cell result directory; empty disables cell files + resume. */
+    std::string cellDir;
+    /** Reuse existing per-cell files instead of re-simulating. */
+    bool resume = false;
+    /** Progress lines on stderr ("[12/30] cell ..."). */
+    bool progress = false;
+};
+
+/** Wall-clock accounting of one run() (not part of the results). */
+struct CampaignPerf
+{
+    double wallSeconds = 0.0;
+    std::size_t cells = 0;          //!< total cells in the spec
+    std::size_t cellsSimulated = 0; //!< actually run this time
+    std::size_t cellsCached = 0;    //!< reloaded from the cell dir
+    std::uint64_t cyclesSimulated = 0;
+
+    double
+    cellsPerSec() const
+    {
+        return wallSeconds > 0 ? cellsSimulated / wallSeconds : 0.0;
+    }
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0 ? cyclesSimulated / wallSeconds : 0.0;
+    }
+
+    obs::JsonValue toJson() const;
+};
+
+/** See file comment. */
+class Campaign
+{
+  public:
+    Campaign(SweepSpec spec, CampaignOptions opt);
+
+    /**
+     * Run (or resume) the campaign and return the aggregated results
+     * document: {schema, spec, cells[], series[]}. Deterministic for a
+     * given spec -- independent of jobs, resume state, and machine.
+     * Throws FatalError when any cell fails.
+     */
+    obs::JsonValue run();
+
+    /** Wall-clock accounting of the last run(). */
+    const CampaignPerf &perf() const { return perf_; }
+
+    /** Simulate one cell in isolation (used by run() and the tests). */
+    static obs::JsonValue runCell(const SweepSpec &spec, const Cell &cell,
+                                  const std::shared_ptr<const Topology> &topo);
+
+  private:
+    SweepSpec spec_;
+    CampaignOptions opt_;
+    CampaignPerf perf_;
+
+    std::string cellPath(const Cell &cell) const;
+    /** Load a cached cell result; Null when absent or invalid. */
+    obs::JsonValue loadCached(const Cell &cell) const;
+    bool storeCell(const Cell &cell, const obs::JsonValue &result) const;
+};
+
+} // namespace spin::exp
+
+#endif // SPINNOC_EXP_CAMPAIGN_HH

@@ -55,26 +55,35 @@ class Link
 
     /** A flit enters the wire at @p now. */
     void
-    pushFlit(Cycle now, const LinkFlit &lf)
+    pushFlit(Cycle now, LinkFlit lf)
     {
         occupyFlit(now, now);
-        flits_.push(now + spec_.latency, lf);
+        flits_.push(now + spec_.latency, std::move(lf));
     }
 
     /**
      * SPIN rotation: a whole packet of @p size flits streams onto the
      * wire starting at @p now; flit i arrives at now + latency + i.
+     * Consumes the flits (the caller's buffer is scratch).
      */
     void
-    pushPacket(Cycle now, const std::vector<LinkFlit> &lfs)
+    pushPacket(Cycle now, std::vector<LinkFlit> &lfs)
     {
         occupyFlit(now, now + lfs.size() - 1);
         Cycle arrival = now + spec_.latency;
-        for (const LinkFlit &lf : lfs)
-            flits_.push(arrival++, lf);
+        for (LinkFlit &lf : lfs)
+            flits_.push(arrival++, std::move(lf));
     }
 
     std::vector<LinkFlit> drainFlits(Cycle now) { return flits_.drain(now); }
+
+    /** Allocation-free drain for the per-cycle path. */
+    template <typename F>
+    void
+    drainFlitsInto(Cycle now, F &&fn)
+    {
+        flits_.drainInto(now, fn);
+    }
     /// @}
 
     /// @name Reverse (credit) direction
@@ -89,6 +98,14 @@ class Link
     drainCredits(Cycle now)
     {
         return credits_.drain(now);
+    }
+
+    /** Allocation-free drain for the per-cycle path. */
+    template <typename F>
+    void
+    drainCreditsInto(Cycle now, F &&fn)
+    {
+        credits_.drainInto(now, fn);
     }
     /// @}
 

@@ -34,15 +34,17 @@ Network::Network(std::shared_ptr<const Topology> topo,
         inIdx_[r].assign(topo_->radix(r), -1);
         nicIdx_[r].assign(topo_->radix(r), kInvalidId);
     }
+    links_.reserve(topo_->links().size());
     for (const LinkSpec &spec : topo_->links()) {
         const auto idx = static_cast<std::int32_t>(links_.size());
-        links_.push_back(std::make_unique<Link>(spec));
+        links_.emplace_back(spec);
         outIdx_[spec.src][spec.srcPort] = idx;
         inIdx_[spec.dst][spec.dstPort] = idx;
     }
     for (const NicAttach &a : topo_->nics())
         nicIdx_[a.router][a.port] = a.node;
 
+    routerLoad_.assign(nr, 0);
     routers_.reserve(nr);
     for (RouterId r = 0; r < nr; ++r)
         routers_.push_back(std::make_unique<Router>(*this, r));
@@ -85,14 +87,15 @@ Network::step()
     const Cycle now = clock_.now();
 
     // 1. Wire arrivals.
-    for (auto &lp : links_) {
-        Link &l = *lp;
-        for (LinkFlit &lf : l.drainFlits(now))
+    for (Link &l : links_) {
+        l.drainFlitsInto(now, [&](LinkFlit &lf) {
             routers_[l.spec().dst]->receiveFlit(l.spec().dstPort, lf.vc,
-                                                lf.flit);
-        for (CreditMsg &c : l.drainCredits(now))
+                                                std::move(lf.flit));
+        });
+        l.drainCreditsInto(now, [&](const CreditMsg &c) {
             routers_[l.spec().src]->receiveCredit(l.spec().srcPort, c.vc,
                                                   c.isFree);
+        });
     }
     for (auto &np : nics_)
         np->drainWires(now);
@@ -111,11 +114,22 @@ Network::step()
     for (auto &np : nics_)
         np->injectStep(now);
 
-    // 6-7. Route compute, VC allocation, switch allocation.
-    for (auto &rp : routers_)
-        rp->computeRoutes();
-    for (auto &rp : routers_)
-        rp->allocateSwitch();
+    // 6-7. Route compute, VC allocation, switch allocation. A router
+    // with no buffered flit provably does nothing in either phase
+    // (every VC is empty, so route compute, allocation and the
+    // round-robin pointers are untouched) -- skipping it is exactly
+    // behavior-preserving and makes low-load cycles cheap. Iteration
+    // stays in router-ID order so adaptive-routing decisions that read
+    // neighbor state are unchanged.
+    const int nr = static_cast<int>(routers_.size());
+    for (RouterId r = 0; r < nr; ++r) {
+        if (routerLoad_[r] != 0)
+            routers_[r]->computeRoutes();
+    }
+    for (RouterId r = 0; r < nr; ++r) {
+        if (routerLoad_[r] != 0)
+            routers_[r]->allocateSwitch();
+    }
 
     // 8. SPIN timers.
     if (spinMgr_)
@@ -138,21 +152,21 @@ Link *
 Network::outLinkOf(RouterId r, PortId port)
 {
     const std::int32_t i = outIdx_[r][port];
-    return i < 0 ? nullptr : links_[i].get();
+    return i < 0 ? nullptr : &links_[i];
 }
 
 const Link *
 Network::outLinkOf(RouterId r, PortId port) const
 {
     const std::int32_t i = outIdx_[r][port];
-    return i < 0 ? nullptr : links_[i].get();
+    return i < 0 ? nullptr : &links_[i];
 }
 
 Link *
 Network::inLinkOf(RouterId r, PortId port)
 {
     const std::int32_t i = inIdx_[r][port];
-    return i < 0 ? nullptr : links_[i].get();
+    return i < 0 ? nullptr : &links_[i];
 }
 
 Nic &
@@ -210,8 +224,8 @@ void
 Network::beginMeasurement()
 {
     stats_.reset(clock_.now());
-    for (auto &lp : links_)
-        lp->resetUses();
+    for (Link &l : links_)
+        l.resetUses();
     usageWindowStart_ = clock_.now();
 }
 
@@ -219,10 +233,10 @@ LinkUsage
 Network::linkUsage() const
 {
     LinkUsage u;
-    for (const auto &lp : links_) {
-        u.flitCycles += lp->flitUses();
-        u.probeCycles += lp->probeUses();
-        u.moveCycles += lp->moveUses();
+    for (const Link &l : links_) {
+        u.flitCycles += l.flitUses();
+        u.probeCycles += l.probeUses();
+        u.moveCycles += l.moveUses();
     }
     u.totalCycles = links_.size() * (clock_.now() - usageWindowStart_);
     const std::uint64_t used = u.flitCycles + u.probeCycles + u.moveCycles;

@@ -113,7 +113,7 @@ class Network
     /// @name Links
     /// @{
     int numLinks() const { return static_cast<int>(links_.size()); }
-    Link &link(int idx) { return *links_[idx]; }
+    Link &link(int idx) { return links_[idx]; }
     /** Out-link of (r, port); nullptr for NIC / unwired ports. */
     Link *outLinkOf(RouterId r, PortId port);
     const Link *outLinkOf(RouterId r, PortId port) const;
@@ -124,6 +124,11 @@ class Network
     {
         return outIdx_[r][port];
     }
+    /** Buffered-flit counter slot for router @p r. Routers keep their
+     *  count here so step()'s idle-skip scan reads one contiguous
+     *  array instead of touching every Router object. Stable address:
+     *  sized before any router is constructed. */
+    int &routerLoadSlot(RouterId r) { return routerLoad_[r]; }
     /** NIC attached at (r, port). @pre the port is a NIC port. */
     Nic &nicAt(RouterId r, PortId port);
     /// @}
@@ -190,8 +195,12 @@ class Network
     Stats stats_;
 
     std::vector<std::unique_ptr<Router>> routers_;
+    /** See routerLoadSlot(). */
+    std::vector<int> routerLoad_;
     std::vector<std::unique_ptr<Nic>> nics_;
-    std::vector<std::unique_ptr<Link>> links_;
+    /** Flat storage: links are hot (drained every cycle) and fixed
+     *  after construction, so they live contiguously. */
+    std::vector<Link> links_;
     /** (router, port) -> link index or -1, both directions. */
     std::vector<std::vector<std::int32_t>> outIdx_;
     std::vector<std::vector<std::int32_t>> inIdx_;

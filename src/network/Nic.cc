@@ -33,10 +33,12 @@ Nic::queueLength() const
 void
 Nic::drainWires(Cycle now)
 {
-    for (LinkFlit &lf : injWire_.drain(now))
-        net_.router(router_).receiveFlit(port_, lf.vc, lf.flit);
+    injWire_.drainInto(now, [&](LinkFlit &lf) {
+        net_.router(router_).receiveFlit(port_, lf.vc,
+                                         std::move(lf.flit));
+    });
 
-    for (Flit &f : ejectWire_.drain(now)) {
+    ejectWire_.drainInto(now, [&](const Flit &f) {
         if (f.isTail()) {
             f.pkt->ejectCycle = now;
             net_.stats().onEject(*f.pkt);
@@ -45,10 +47,11 @@ Nic::drainWires(Cycle now)
                         f.pkt->latency(), f.pkt->hops);
             net_.notifyEjected(f.pkt);
         }
-    }
+    });
 
-    for (CreditMsg &c : credWire_.drain(now))
+    credWire_.drainInto(now, [&](const CreditMsg &c) {
         tracker_.onCredit(c.vc, c.isFree, now);
+    });
 }
 
 void
@@ -64,14 +67,14 @@ Nic::injectStep(Cycle now)
             pkt->sourceRouted = true;
         }
 
-        std::vector<VcId> allowed;
-        net_.routing().injectionVcs(*pkt, net_.router(router_), allowed);
-        applyVcReservation(net_, *pkt, allowed);
-        const VcId vc = tracker_.allocate(allowed, pkt->id, now);
+        net_.routing().injectionVcs(*pkt, net_.router(router_),
+                                    scratchVcs_);
+        applyVcReservation(net_, *pkt, scratchVcs_);
+        const VcId vc = tracker_.allocate(scratchVcs_, pkt->id, now);
         if (vc == kInvalidId)
             return; // no free VC at the local in-port yet
         curVc_ = vc;
-        cur_ = makeFlits(pkt);
+        makeFlitsInto(pkt, cur_); // reuses cur_'s capacity
         curIdx_ = 0;
     }
 
@@ -80,7 +83,6 @@ Nic::injectStep(Cycle now)
 
     Flit &f = cur_[curIdx_];
     tracker_.consumeCredit(curVc_);
-    injWire_.push(now + kNicLatency, LinkFlit{f, curVc_});
 
     Stats &st = net_.stats();
     if (f.isHead()) {
@@ -90,6 +92,10 @@ Nic::injectStep(Cycle now)
             t->flit(now, "inject", router_, *f.pkt, port_, curVc_);
     }
     ++st.flitsInjected;
+
+    // cur_ is consumed front to back, one flit per cycle; each slot is
+    // dead after this push, so hand the flit over instead of copying.
+    injWire_.push(now + kNicLatency, LinkFlit{std::move(f), curVc_});
 
     ++curIdx_;
     if (curIdx_ == cur_.size()) {
@@ -101,9 +107,9 @@ Nic::injectStep(Cycle now)
 }
 
 void
-Nic::pushEject(Cycle arrival, const Flit &f)
+Nic::pushEject(Cycle arrival, Flit f)
 {
-    ejectWire_.push(arrival, f);
+    ejectWire_.push(arrival, std::move(f));
 }
 
 void

@@ -47,7 +47,7 @@ class Nic
     /// @}
 
     /** Called by the router side: flit ejected toward this NIC. */
-    void pushEject(Cycle arrival, const Flit &f);
+    void pushEject(Cycle arrival, Flit f);
     /** Called by the router side: credit for local in-port VC @p vc. */
     void pushCredit(Cycle arrival, VcId vc, bool is_free);
 
@@ -67,6 +67,8 @@ class Nic
     VcId curVc_ = kInvalidId;
 
     OutputUnit tracker_;
+    /** Scratch for injectionVcs(), reused to avoid per-packet churn. */
+    std::vector<VcId> scratchVcs_;
     DelayLine<LinkFlit> injWire_;
     DelayLine<Flit> ejectWire_;
     DelayLine<CreditMsg> credWire_;

@@ -16,14 +16,6 @@ OutputUnit::OutputUnit(PortId port, bool to_nic, int num_vcs, int depth)
         v.credits = depth;
 }
 
-int
-OutputUnit::credits(VcId vc) const
-{
-    if (toNic_)
-        return std::numeric_limits<int>::max() / 2;
-    return vcs_[vc].credits;
-}
-
 bool
 OutputUnit::hasIdleVcIn(VcId lo, VcId hi) const
 {
@@ -63,34 +55,6 @@ OutputUnit::forceAllocate(VcId vc, PacketId owner, Cycle now)
     d.idle = false;
     d.owner = owner;
     d.activeSince = now;
-}
-
-void
-OutputUnit::consumeCredit(VcId vc)
-{
-    if (toNic_)
-        return;
-    DownVc &d = vcs_[vc];
-    --d.credits;
-    // Transiently negative only during a SPIN rotation, where the
-    // vacating packet's credits are still in flight back to us.
-    SPIN_ASSERT(d.credits >= -depth_, "credit underflow on vc ", vc);
-}
-
-void
-OutputUnit::onCredit(VcId vc, bool is_free, Cycle now)
-{
-    SPIN_ASSERT(!toNic_, "credits from a NIC port");
-    DownVc &d = vcs_[vc];
-    ++d.credits;
-    SPIN_ASSERT(d.credits <= depth_, "credit overflow on vc ", vc);
-    if (is_free) {
-        SPIN_ASSERT(d.credits == depth_,
-                    "free signal with outstanding credits on vc ", vc);
-        d.idle = true;
-        d.owner = 0;
-        d.activeSince = now;
-    }
 }
 
 int

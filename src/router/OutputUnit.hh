@@ -9,8 +9,10 @@
 #ifndef SPINNOC_ROUTER_OUTPUTUNIT_HH
 #define SPINNOC_ROUTER_OUTPUTUNIT_HH
 
+#include <limits>
 #include <vector>
 
+#include "common/Logging.hh"
 #include "common/Types.hh"
 
 namespace spin
@@ -39,7 +41,13 @@ class OutputUnit
     /** True when downstream VC @p vc is unallocated. */
     bool isIdle(VcId vc) const { return toNic_ || vcs_[vc].idle; }
     /** Free-slot count believed for downstream VC @p vc. */
-    int credits(VcId vc) const;
+    int
+    credits(VcId vc) const
+    {
+        if (toNic_)
+            return std::numeric_limits<int>::max() / 2;
+        return vcs_[vc].credits;
+    }
     /** Cycle the downstream VC last became active (for FAvORS t_active). */
     Cycle activeSince(VcId vc) const { return vcs_[vc].activeSince; }
     /** Packet holding the allocation of @p vc, 0 when idle. */
@@ -59,10 +67,35 @@ class OutputUnit
     void forceAllocate(VcId vc, PacketId owner, Cycle now);
 
     /** A flit was sent into downstream VC @p vc. */
-    void consumeCredit(VcId vc);
+    void
+    consumeCredit(VcId vc)
+    {
+        if (toNic_)
+            return;
+        DownVc &d = vcs_[vc];
+        --d.credits;
+        // Transiently negative only during a SPIN rotation, where the
+        // vacating packet's credits are still in flight back to us.
+        SPIN_ASSERT(d.credits >= -depth_, "credit underflow on vc ", vc);
+    }
 
     /** Credit returned from downstream for @p vc. */
-    void onCredit(VcId vc, bool is_free, Cycle now);
+    void
+    onCredit(VcId vc, bool is_free, Cycle now)
+    {
+        SPIN_ASSERT(!toNic_, "credits from a NIC port");
+        DownVc &d = vcs_[vc];
+        ++d.credits;
+        SPIN_ASSERT(d.credits <= depth_, "credit overflow on vc ", vc);
+        if (is_free) {
+            SPIN_ASSERT(d.credits == depth_,
+                        "free signal with outstanding credits on vc ",
+                        vc);
+            d.idle = true;
+            d.owner = 0;
+            d.activeSince = now;
+        }
+    }
 
     /** Total buffered flits downstream (UGAL congestion estimate). */
     int occupancy() const;

@@ -1,5 +1,7 @@
 #include "router/Router.hh"
 
+#include <bit>
+
 #include "common/Logging.hh"
 #include "core/SpinUnit.hh"
 #include "network/Network.hh"
@@ -10,7 +12,8 @@
 namespace spin
 {
 
-Router::Router(Network &net, RouterId id) : net_(net), id_(id)
+Router::Router(Network &net, RouterId id)
+    : net_(net), id_(id), load_(&net.routerLoadSlot(id))
 {
     const Topology &topo = net.topo();
     const NetworkConfig &cfg = net.config();
@@ -27,6 +30,17 @@ Router::Router(Network &net, RouterId id) : net_(net), id_(id)
         outputs_.emplace_back(p, nicPort_[p], cfg.totalVcs(), cfg.vcDepth);
     }
     outRr_.assign(radix, 0);
+    SPIN_ASSERT(cfg.totalVcs() <= 64,
+                "occupancy bitmask supports at most 64 VCs per port");
+    SPIN_ASSERT(radix <= 64,
+                "switch-allocation bitmasks support at most 64 ports");
+    occupied_.assign(radix, 0);
+    outLink_.reserve(radix);
+    inLink_.reserve(radix);
+    for (PortId p = 0; p < radix; ++p) {
+        outLink_.push_back(net.outLinkOf(id, p));
+        inLink_.push_back(net.inLinkOf(id, p));
+    }
 }
 
 Router::~Router() = default;
@@ -38,12 +52,13 @@ Router::setSpinUnit(std::unique_ptr<SpinUnit> u)
 }
 
 void
-Router::receiveFlit(PortId inport, VcId vcid, const Flit &f)
+Router::receiveFlit(PortId inport, VcId vcid, Flit f)
 {
     const Cycle now = net_.now();
-    Flit copy = f;
-    copy.arrivedAt = now;
-    inputs_[inport].vc(vcid).pushFlit(copy, now);
+    f.arrivedAt = now;
+    inputs_[inport].vc(vcid).pushFlit(std::move(f), now);
+    ++*load_;
+    occupied_[inport] |= std::uint64_t{1} << vcid;
     if (spin_ && !inputs_[inport].fromNic())
         spin_->onFlitArrival(inport, vcid);
 }
@@ -59,9 +74,11 @@ Router::computeRoutes()
 {
     for (PortId inport = 0; inport < radix(); ++inport) {
         InputUnit &iu = inputs_[inport];
-        for (VcId v = 0; v < iu.numVcs(); ++v) {
+        // Walk occupied VCs in ascending order, like the full scan did.
+        for (std::uint64_t m = occupied_[inport]; m != 0; m &= m - 1) {
+            const VcId v = std::countr_zero(m);
             VirtualChannel &vc = iu.vc(v);
-            if (!vc.active() || vc.empty() || vc.frozen)
+            if (!vc.active() || vc.frozen)
                 continue;
             if (!vc.front().isHead())
                 continue;
@@ -176,7 +193,7 @@ Router::tryVcAllocation(PortId inport, VcId vcid)
     }
 }
 
-bool
+inline bool
 Router::readyToSend(PortId inport, VcId vcid, Cycle now) const
 {
     const VirtualChannel &vc = inputs_[inport].vc(vcid);
@@ -191,7 +208,7 @@ Router::readyToSend(PortId inport, VcId vcid, Cycle now) const
         return false;
     if (out.toNic())
         return true;
-    const Link *l = net_.outLinkOf(id_, vc.request);
+    const Link *l = outLink_[vc.request];
     SPIN_ASSERT(l, "granted route over unwired port ", vc.request,
                 " at router ", id_);
     return l->freeForFlit(now);
@@ -206,28 +223,52 @@ Router::allocateSwitch()
     if (net_.samplers())
         countCreditStalls(now);
 
-    // Stage 1: one candidate VC per input port (round-robin).
-    scratchPorts_.assign(n, kInvalidId); // reused as per-inport winner vc
+    // Stage 1: one candidate VC per input port (round-robin). Only
+    // occupied VCs can be ready, so probe the set bits of the
+    // occupancy mask in round-robin order: bits >= rrPointer first
+    // (ascending), then the wrap-around -- the same probe order the
+    // full (rrPointer + k) % vcs scan visited non-empty VCs in.
+    // scratchPorts_ holds the per-inport winner VC; entries without a
+    // candMask bit are stale and never read.
+    if (static_cast<int>(scratchPorts_.size()) < n)
+        scratchPorts_.resize(n);
+    std::uint64_t candMask = 0; // inports holding a candidate
+    std::uint64_t reqMask = 0;  // outports requested by any candidate
     for (PortId inport = 0; inport < n; ++inport) {
-        InputUnit &iu = inputs_[inport];
-        const int vcs = iu.numVcs();
-        for (int k = 0; k < vcs; ++k) {
-            const VcId v = (iu.rrPointer + k) % vcs;
-            if (readyToSend(inport, v, now)) {
-                scratchPorts_[inport] = v;
-                break;
+        const std::uint64_t occ = occupied_[inport];
+        if (occ == 0)
+            continue;
+        const int rr = inputs_[inport].rrPointer;
+        std::uint64_t m = occ >> rr << rr; // bits >= rr, then wrap
+        for (int half = 0; half < 2; ++half) {
+            for (; m != 0; m &= m - 1) {
+                const VcId v = std::countr_zero(m);
+                if (readyToSend(inport, v, now)) {
+                    scratchPorts_[inport] = v;
+                    candMask |= std::uint64_t{1} << inport;
+                    reqMask |= std::uint64_t{1}
+                               << inputs_[inport].vc(v).request;
+                    break;
+                }
             }
+            if ((candMask >> inport & 1) != 0)
+                break;
+            m = occ & ~(occ >> rr << rr); // the wrap-around half
         }
     }
+    if (candMask == 0)
+        return;
 
-    // Stage 2: one input port per output port (round-robin).
-    for (PortId outport = 0; outport < n; ++outport) {
+    // Stage 2: one input port per output port (round-robin). Outports
+    // nobody requested cannot have a winner and are skipped outright.
+    for (std::uint64_t om = reqMask; om != 0; om &= om - 1) {
+        const PortId outport = std::countr_zero(om);
         PortId winner = kInvalidId;
         for (int k = 0; k < n; ++k) {
             const PortId inport = (outRr_[outport] + k) % n;
-            const VcId v = scratchPorts_[inport];
-            if (v != kInvalidId &&
-                inputs_[inport].vc(v).request == outport) {
+            if ((candMask >> inport & 1) != 0 &&
+                inputs_[inport].vc(scratchPorts_[inport]).request ==
+                    outport) {
                 winner = inport;
                 break;
             }
@@ -236,9 +277,11 @@ Router::allocateSwitch()
             continue;
         const VcId v = scratchPorts_[winner];
         sendFlit(winner, v);
-        scratchPorts_[winner] = kInvalidId;
+        candMask &= ~(std::uint64_t{1} << winner);
         inputs_[winner].rrPointer = (v + 1) % inputs_[winner].numVcs();
         outRr_[outport] = (winner + 1) % n;
+        if (candMask == 0)
+            return; // no remaining outport can have a winner
     }
 }
 
@@ -252,23 +295,28 @@ Router::sendFlit(PortId inport, VcId vcid)
     const PacketPtr pkt = vc.owner();
 
     vc.noteProgress(now);
-    const Flit f = vc.popFlit();
+    Flit f = vc.popFlit();
+    --*load_;
+    if (vc.empty())
+        occupied_[inport] &= ~(std::uint64_t{1} << vcid);
     OutputUnit &out = outputs_[outport];
     out.consumeCredit(dvc);
 
+    const bool isTail = f.isTail();
+    const bool isHead = f.isHead();
+    const int seq = f.seq;
     if (out.toNic()) {
-        net_.nicAt(id_, outport).pushEject(now + 1, f);
+        net_.nicAt(id_, outport).pushEject(now + 1, std::move(f));
     } else {
-        Link *l = net_.outLinkOf(id_, outport);
-        l->pushFlit(now, LinkFlit{f, dvc});
+        outLink_[outport]->pushFlit(now, LinkFlit{std::move(f), dvc});
     }
 
-    creditUpstream(inport, vcid, f.isTail());
+    creditUpstream(inport, vcid, isTail);
 
     if (spin_ && !inputs_[inport].fromNic())
         spin_->onFlitDeparture(inport, vcid);
 
-    if (f.isHead() && !out.toNic()) {
+    if (isHead && !out.toNic()) {
         ++pkt->hops;
         net_.routing().onHop(*pkt, *this, outport);
     }
@@ -285,7 +333,7 @@ Router::sendFlit(PortId inport, VcId vcid)
             e.port = outport;
             e.vc = dvc;
             e.arg0 = net_.linkIndexOf(id_, outport);
-            e.arg1 = f.seq;
+            e.arg1 = seq;
             t->record(e);
         }
     }
@@ -317,7 +365,7 @@ Router::creditUpstream(PortId inport, VcId vcid, bool is_free)
     if (inputs_[inport].fromNic()) {
         net_.nicAt(id_, inport).pushCredit(now + 1, vcid, is_free);
     } else {
-        Link *l = net_.inLinkOf(id_, inport);
+        Link *l = inLink_[inport];
         SPIN_ASSERT(l, "flit in a VC at unwired in-port ", inport,
                     " of router ", id_);
         l->pushCredit(now + l->latency(), CreditMsg{vcid, is_free});
@@ -354,12 +402,16 @@ Router::forceSend(PortId inport, VcId vcid, PortId outport, VcId down_vc,
     const PacketPtr pkt = vc.owner();
     const int n = pkt->sizeFlits;
 
-    std::vector<LinkFlit> lfs;
+    std::vector<LinkFlit> &lfs = scratchPacket_;
+    lfs.clear();
     lfs.reserve(n);
-    while (!vc.empty())
+    while (!vc.empty()) {
         lfs.push_back(LinkFlit{vc.popFlit(), down_vc});
+        --*load_;
+    }
+    occupied_[inport] &= ~(std::uint64_t{1} << vcid);
 
-    Link *l = net_.outLinkOf(id_, outport);
+    Link *l = outLink_[outport];
     SPIN_ASSERT(l, "rotation over unwired port");
     OutputUnit &out = outputs_[outport];
     out.forceAllocate(down_vc, pkt->id, now);
@@ -374,7 +426,7 @@ Router::forceSend(PortId inport, VcId vcid, PortId outport, VcId down_vc,
     // force-allocates this VC in the same cycle (refilled), the isFree
     // tail signal is suppressed so the upstream output unit never sees
     // a spurious release.
-    Link *ul = net_.inLinkOf(id_, inport);
+    Link *ul = inLink_[inport];
     SPIN_ASSERT(ul, "frozen VC at unwired in-port");
     for (int i = 0; i < n; ++i) {
         const bool free_sig = !refilled && i == n - 1;

@@ -21,6 +21,7 @@
 #include "common/Config.hh"
 #include "common/Packet.hh"
 #include "common/Types.hh"
+#include "network/Link.hh"
 #include "router/InputUnit.hh"
 #include "router/OutputUnit.hh"
 
@@ -63,7 +64,7 @@ class Router
     /// @name Per-cycle phases, called by Network::step()
     /// @{
     /** A flit arrived from the wire into (inport, vc). */
-    void receiveFlit(PortId inport, VcId vc, const Flit &f);
+    void receiveFlit(PortId inport, VcId vc, Flit f);
     /** A credit arrived for downstream VC @p vc of @p outport. */
     void receiveCredit(PortId outport, VcId vc, bool is_free);
     /** Route compute + VC allocation for head packets. */
@@ -110,6 +111,13 @@ class Router
      */
     std::uint64_t creditStallCycles() const { return creditStalls_; }
 
+    /**
+     * Flits currently buffered in this router's input VCs. Zero means
+     * computeRoutes()/allocateSwitch() are no-ops this cycle, which
+     * Network::step() uses to skip idle routers.
+     */
+    int bufferedFlits() const { return *load_; }
+
   private:
     Network &net_;
     RouterId id_;
@@ -121,12 +129,32 @@ class Router
     /** Per-outport round-robin pointer over input ports (SA stage 2). */
     std::vector<PortId> outRr_;
 
+    /** Per-port wired links (nullptr for NIC/unwired ports), cached at
+     *  construction -- the network's link table is fixed by then. */
+    std::vector<Link *> outLink_;
+    std::vector<Link *> inLink_;
+
     /** See creditStallCycles(). */
     std::uint64_t creditStalls_ = 0;
+
+    /** Slot in the network's contiguous per-router load array (see
+     *  bufferedFlits()); Network::step() scans that array directly so
+     *  skipping idle routers touches no Router object. */
+    int *load_;
+
+    /**
+     * Per-inport bitmask of VCs holding at least one flit (bit v set
+     * <=> vc(v) non-empty). Lets route compute and switch allocation
+     * visit occupied VCs only instead of scanning the whole VC table
+     * every cycle; scan order over the set bits matches the full
+     * scan's order, so allocation decisions are unchanged.
+     */
+    std::vector<std::uint64_t> occupied_;
 
     // Scratch buffers reused across cycles to avoid allocation churn.
     mutable std::vector<PortId> scratchPorts_;
     mutable std::vector<VcId> scratchVcs_;
+    std::vector<LinkFlit> scratchPacket_;
 
     /** Compute/refresh the route request of one head VC. */
     void routeVc(PortId inport, VcId vcid);
@@ -134,8 +162,10 @@ class Router
     bool hasIdleAllowedVc(const Packet &pkt, PortId outport) const;
     /** Try to acquire a downstream VC for a routed head. */
     void tryVcAllocation(PortId inport, VcId vcid);
-    /** True when (inport,vc) can send a flit right now. */
-    bool readyToSend(PortId inport, VcId vcid, Cycle now) const;
+    /** True when (inport,vc) can send a flit right now. Forced inline:
+     *  it is the innermost probe of switch allocation. */
+    [[gnu::always_inline]] inline bool
+    readyToSend(PortId inport, VcId vcid, Cycle now) const;
     /** Move one flit out: pop, credits, link push, hooks. */
     void sendFlit(PortId inport, VcId vcid);
     /** Accumulate credit-stall telemetry (samplers enabled only). */

@@ -13,7 +13,7 @@
 #ifndef SPINNOC_ROUTER_VIRTUALCHANNEL_HH
 #define SPINNOC_ROUTER_VIRTUALCHANNEL_HH
 
-#include <deque>
+#include <vector>
 
 #include "common/Packet.hh"
 #include "common/Types.hh"
@@ -32,9 +32,9 @@ class VirtualChannel
   public:
     /// @name Buffer
     /// @{
-    bool empty() const { return buf_.empty(); }
-    int size() const { return static_cast<int>(buf_.size()); }
-    const Flit &front() const { return buf_.front(); }
+    bool empty() const { return count_ == 0; }
+    int size() const { return static_cast<int>(count_); }
+    const Flit &front() const { return buf_[head_]; }
     /** Packet owning the VC; nullptr when idle. */
     const PacketPtr &owner() const { return owner_; }
     /** True when every flit of the resident packet is buffered. */
@@ -42,11 +42,11 @@ class VirtualChannel
     packetComplete() const
     {
         return owner_ && size() == owner_->sizeFlits &&
-               buf_.front().isHead();
+               front().isHead();
     }
 
     /** Append an arriving flit. */
-    void pushFlit(const Flit &f, Cycle now);
+    void pushFlit(Flit f, Cycle now);
     /** Remove and return the front flit. @pre !empty(). */
     Flit popFlit();
     /// @}
@@ -84,11 +84,20 @@ class VirtualChannel
     /// @}
 
   private:
-    std::deque<Flit> buf_;
+    /**
+     * Ring buffer over a flat vector (deques allocate a chunk per VC
+     * and scatter flits; VC buffers are small and hot). Capacity grows
+     * geometrically and is retained across packets.
+     */
+    std::vector<Flit> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     PacketPtr owner_;
     bool active_ = false;
     Cycle activeSince_ = 0;
     Cycle lastProgress_ = 0;
+
+    void grow();
 };
 
 } // namespace spin

@@ -48,7 +48,8 @@ EscapeVc::select(const Packet &pkt, const Router &r,
 
     // Prefer a random adaptive candidate with a free regular VC; when
     // everything regular is taken, head for the escape channel.
-    std::vector<PortId> free_cands;
+    std::vector<PortId> &free_cands = selScratchFree_;
+    free_cands.clear();
     for (const PortId c : cands) {
         if (regularIdleAt(pkt, r, c))
             free_cands.push_back(c);

@@ -33,8 +33,9 @@ RoutingAlgorithm::select(const Packet &pkt, const Router &r,
     // has a free allowed VC; otherwise the candidate whose next-hop VC
     // has been active for the fewest cycles.
     const Cycle now = net_->now();
-    std::vector<VcId> allowed;
-    std::vector<PortId> free_cands;
+    std::vector<VcId> &allowed = selScratchVcs_;
+    std::vector<PortId> &free_cands = selScratchFree_;
+    free_cands.clear();
     PortId best = cands[0];
     Cycle best_active = kNeverCycle;
     for (const PortId c : cands) {

@@ -39,6 +39,14 @@ class DelayLine
     void
     push(Cycle arrival, T item)
     {
+        // In-order pushes append. (Not just a shortcut: deque::emplace
+        // at end() of an *empty* deque resolves to emplace_front, whose
+        // start cursor sits on a chunk boundary here -- that path
+        // allocates and frees a whole chunk on every push/drain pair.)
+        if (line_.empty() || line_.back().first <= arrival) {
+            line_.emplace_back(arrival, std::move(item));
+            return;
+        }
         auto it = line_.end();
         while (it != line_.begin() && std::prev(it)->first > arrival)
             --it;
@@ -55,6 +63,23 @@ class DelayLine
             line_.pop_front();
         }
         return out;
+    }
+
+    /**
+     * Like drain(), but hands each arrival to @p fn instead of building
+     * a vector — the per-cycle path, where the common case is "nothing
+     * arrived" and even the empty-vector return would churn. @p fn gets
+     * a mutable reference and may move from it; the item is popped
+     * right after the call.
+     */
+    template <typename F>
+    void
+    drainInto(Cycle now, F &&fn)
+    {
+        while (!line_.empty() && line_.front().first <= now) {
+            fn(line_.front().second);
+            line_.pop_front();
+        }
     }
 
     bool empty() const { return line_.empty(); }

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the experiment-campaign subsystem (src/exp): spec parsing
+ * and validation, the per-cell seed derivation, the ArgParse helper,
+ * and the Campaign determinism contract -- the aggregated results are
+ * bit-identical for any worker count and across resume.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/ArgParse.hh"
+#include "exp/Campaign.hh"
+#include "exp/SweepSpec.hh"
+
+namespace spin::exp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------
+
+SweepSpec
+parseSpec(const char *json, std::string &err)
+{
+    std::string perr;
+    const obs::JsonValue doc = obs::JsonValue::parse(json, &perr);
+    EXPECT_TRUE(perr.empty()) << perr;
+    SweepSpec s;
+    EXPECT_TRUE(SweepSpec::fromJson(doc, s, err)) << err;
+    return s;
+}
+
+bool
+specFails(const char *json, const char *want_in_err)
+{
+    std::string perr;
+    const obs::JsonValue doc = obs::JsonValue::parse(json, &perr);
+    EXPECT_TRUE(perr.empty()) << perr;
+    SweepSpec s;
+    std::string err;
+    if (SweepSpec::fromJson(doc, s, err))
+        return false;
+    EXPECT_NE(err.find(want_in_err), std::string::npos)
+        << "error '" << err << "' does not mention '" << want_in_err
+        << "'";
+    return true;
+}
+
+TEST(SweepSpecTest, ParsesExplicitRatesAndSeeds)
+{
+    std::string err;
+    const SweepSpec s = parseSpec(
+        R"({"name": "t", "topology": "mesh4x4",
+            "presets": ["WestFirst_3VC"],
+            "patterns": ["uniform-random", "transpose"],
+            "rates": [0.1, 0.2], "seeds": [1, 7],
+            "warmup": 100, "measure": 200, "latencyCap": 50.0,
+            "seedBase": 9})",
+        err);
+    EXPECT_EQ(s.name, "t");
+    EXPECT_EQ(s.patterns.size(), 2u);
+    EXPECT_EQ(s.rates.size(), 2u);
+    EXPECT_EQ(s.seeds, (std::vector<std::uint64_t>{1, 7}));
+    EXPECT_EQ(s.warmup, 100u);
+    EXPECT_EQ(s.measure, 200u);
+    EXPECT_DOUBLE_EQ(s.latencyCap, 50.0);
+    EXPECT_EQ(s.seedBase, 9u);
+    EXPECT_EQ(s.expand().size(), 1u * 2 * 2 * 2);
+}
+
+TEST(SweepSpecTest, RateLadderExpandsInclusive)
+{
+    std::string err;
+    const SweepSpec s = parseSpec(
+        R"({"name": "t", "topology": "mesh4x4",
+            "presets": ["WestFirst_3VC"], "patterns": ["uniform-random"],
+            "rates": {"lo": 0.1, "hi": 0.5, "points": 5}})",
+        err);
+    ASSERT_EQ(s.rates.size(), 5u);
+    EXPECT_DOUBLE_EQ(s.rates.front(), 0.1);
+    EXPECT_DOUBLE_EQ(s.rates.back(), 0.5);
+}
+
+TEST(SweepSpecTest, RejectsBadDocuments)
+{
+    EXPECT_TRUE(specFails(R"({"topology": "mesh4x4",
+        "presets": ["WestFirst_3VC"], "patterns": ["uniform-random"],
+        "rates": [0.1]})", "name"));
+    EXPECT_TRUE(specFails(R"({"name": "t", "topology": "mesh4x4",
+        "presets": ["NoSuchPreset"], "patterns": ["uniform-random"],
+        "rates": [0.1]})", "NoSuchPreset"));
+    EXPECT_TRUE(specFails(R"({"name": "t", "topology": "blob9",
+        "presets": ["WestFirst_3VC"], "patterns": ["uniform-random"],
+        "rates": [0.1]})", "topology"));
+    EXPECT_TRUE(specFails(R"({"name": "t", "topology": "mesh4x4",
+        "presets": ["WestFirst_3VC"], "patterns": ["no-such-pattern"],
+        "rates": [0.1]})", "pattern"));
+    EXPECT_TRUE(specFails(R"({"name": "t", "topology": "mesh4x4",
+        "presets": ["WestFirst_3VC"], "patterns": ["uniform-random"],
+        "rates": [1.5]})", "rates"));
+    EXPECT_TRUE(specFails(R"({"name": "t", "topology": "mesh4x4",
+        "presets": ["WestFirst_3VC"], "patterns": ["uniform-random"],
+        "rates": {"lo": 0.5, "hi": 0.1, "points": 3}})", "ladder"));
+    EXPECT_TRUE(specFails(R"({"name": "t", "topology": "mesh4x4",
+        "presets": ["WestFirst_3VC"], "patterns": ["uniform-random"],
+        "rates": [0.1], "measure": 0})", "measure"));
+}
+
+TEST(SweepSpecTest, BuiltinSpecsAllValidateAndExpand)
+{
+    for (const std::string &name : builtinSpecNames()) {
+        SweepSpec s;
+        ASSERT_TRUE(builtinSpec(name, s)) << name;
+        EXPECT_EQ(s.name, name);
+        EXPECT_TRUE(s.validate().empty()) << s.validate();
+        EXPECT_FALSE(s.expand().empty()) << name;
+    }
+    SweepSpec s;
+    EXPECT_FALSE(builtinSpec("no-such-spec", s));
+    // The figure grids are pinned: a silent change to a built-in spec
+    // would silently change what "reproduce Fig. N" means.
+    ASSERT_TRUE(builtinSpec("fig07", s));
+    EXPECT_EQ(s.expand().size(), 6u * 5 * 11);
+    ASSERT_TRUE(builtinSpec("ci-smoke", s));
+    EXPECT_EQ(s.expand().size(), 3u * 2 * 5);
+}
+
+TEST(SweepSpecTest, SpecRoundTripsThroughJson)
+{
+    SweepSpec s;
+    ASSERT_TRUE(builtinSpec("ci-smoke", s));
+    std::string err;
+    SweepSpec back;
+    ASSERT_TRUE(SweepSpec::fromJson(s.toJson(), back, err)) << err;
+    EXPECT_EQ(back.toJson().dump(), s.toJson().dump());
+}
+
+// ---------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------
+
+TEST(DeriveCellSeedTest, DependsOnEveryCoordinateOnly)
+{
+    const std::uint64_t base = deriveCellSeed(
+        0, "WestFirst_3VC", Pattern::UniformRandom, 0.1, 1);
+    // Deterministic across calls.
+    EXPECT_EQ(base, deriveCellSeed(0, "WestFirst_3VC",
+                                   Pattern::UniformRandom, 0.1, 1));
+    EXPECT_NE(base, 0u);
+    // Each coordinate perturbs the seed.
+    EXPECT_NE(base, deriveCellSeed(1, "WestFirst_3VC",
+                                   Pattern::UniformRandom, 0.1, 1));
+    EXPECT_NE(base, deriveCellSeed(0, "EscapeVC_3VC",
+                                   Pattern::UniformRandom, 0.1, 1));
+    EXPECT_NE(base, deriveCellSeed(0, "WestFirst_3VC",
+                                   Pattern::Transpose, 0.1, 1));
+    EXPECT_NE(base, deriveCellSeed(0, "WestFirst_3VC",
+                                   Pattern::UniformRandom, 0.2, 1));
+    EXPECT_NE(base, deriveCellSeed(0, "WestFirst_3VC",
+                                   Pattern::UniformRandom, 0.1, 2));
+}
+
+TEST(DeriveCellSeedTest, ExpansionSeedsAreDistinct)
+{
+    SweepSpec s;
+    ASSERT_TRUE(builtinSpec("fig07", s));
+    std::vector<std::uint64_t> seeds;
+    for (const Cell &c : s.expand())
+        seeds.push_back(c.netSeed);
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()),
+              seeds.end());
+}
+
+// ---------------------------------------------------------------------
+// ArgParse
+// ---------------------------------------------------------------------
+
+bool
+runParse(std::vector<const char *> argv,
+         const std::vector<ArgSpec> &specs, std::string &err)
+{
+    argv.insert(argv.begin(), "prog");
+    return parseArgs(static_cast<int>(argv.size()),
+                     const_cast<char **>(argv.data()), specs, err);
+}
+
+TEST(ArgParseTest, ParsesAllValueForms)
+{
+    std::uint64_t jobs = 1;
+    double rate = 0.0;
+    std::string out;
+    bool flag = false, seen = false;
+    const std::vector<ArgSpec> specs = {
+        argU64("-j", &jobs),
+        argU64("--jobs", &jobs, &seen),
+        argF64("--rate", &rate),
+        argStr("--out", &out),
+        argFlag("--fast", &flag),
+    };
+    std::string err;
+    EXPECT_TRUE(runParse({"-j4"}, specs, err)) << err; // attached short
+    EXPECT_EQ(jobs, 4u);
+    EXPECT_FALSE(seen);
+    EXPECT_TRUE(runParse({"--jobs=8"}, specs, err)) << err; // --name=v
+    EXPECT_EQ(jobs, 8u);
+    EXPECT_TRUE(seen);
+    EXPECT_TRUE(
+        runParse({"--rate", "0.25", "--out", "x.json", "--fast"}, specs,
+                 err))
+        << err;
+    EXPECT_DOUBLE_EQ(rate, 0.25);
+    EXPECT_EQ(out, "x.json");
+    EXPECT_TRUE(flag);
+}
+
+TEST(ArgParseTest, FailsLoudly)
+{
+    std::uint64_t n = 0;
+    bool flag = false;
+    const std::vector<ArgSpec> specs = {
+        argU64("--n", &n),
+        argFlag("--fast", &flag),
+    };
+    std::string err;
+    EXPECT_FALSE(runParse({"--bogus"}, specs, err));
+    EXPECT_NE(err.find("--bogus"), std::string::npos) << err;
+    EXPECT_FALSE(runParse({"--n"}, specs, err)); // missing value
+    EXPECT_NE(err.find("--n"), std::string::npos) << err;
+    EXPECT_FALSE(runParse({"--n", "--fast"}, specs, err)); // ate a flag
+    EXPECT_FALSE(runParse({"--n", "12x"}, specs, err)); // junk suffix
+    EXPECT_FALSE(runParse({"--n", "-3"}, specs, err));  // negative
+    EXPECT_FALSE(runParse({"--fast=1"}, specs, err));   // flag w/ value
+    EXPECT_FALSE(runParse({"positional"}, specs, err));
+}
+
+// ---------------------------------------------------------------------
+// Campaign determinism
+// ---------------------------------------------------------------------
+
+SweepSpec
+tinySpec()
+{
+    std::string err;
+    SweepSpec s = parseSpec(
+        R"({"name": "unit", "topology": "mesh4x4",
+            "presets": ["WestFirst_3VC", "MinAdaptive_3VC_SPIN"],
+            "patterns": ["uniform-random"],
+            "rates": [0.1, 0.3], "seeds": [1, 2],
+            "warmup": 50, "measure": 150, "latencyCap": 200.0})",
+        err);
+    EXPECT_TRUE(err.empty()) << err;
+    return s;
+}
+
+TEST(CampaignTest, AggregateIsBitIdenticalAcrossWorkerCounts)
+{
+    const SweepSpec spec = tinySpec();
+    CampaignOptions serial;
+    serial.jobs = 1;
+    CampaignOptions pooled;
+    pooled.jobs = 4;
+    const std::string a = Campaign(spec, serial).run().dump(2);
+    const std::string b = Campaign(spec, pooled).run().dump(2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(CampaignTest, ResumeFromPartialCellDirReproducesAggregate)
+{
+    const SweepSpec spec = tinySpec();
+    const fs::path dir =
+        fs::path(testing::TempDir()) / "spinnoc_exp_resume_test";
+    fs::remove_all(dir);
+
+    CampaignOptions opt;
+    opt.jobs = 2;
+    opt.cellDir = dir.string();
+    Campaign first(spec, opt);
+    const std::string full = first.run().dump(2);
+    EXPECT_EQ(first.perf().cellsSimulated, 8u);
+
+    // Drop one finished cell; a resume re-simulates exactly that cell
+    // and reproduces the aggregate bit for bit.
+    std::size_t removed = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        if (e.path().filename() != "results.json" &&
+            e.path().extension() == ".json") {
+            fs::remove(e.path());
+            ++removed;
+            break;
+        }
+    }
+    ASSERT_EQ(removed, 1u);
+
+    opt.resume = true;
+    Campaign second(spec, opt);
+    EXPECT_EQ(second.run().dump(2), full);
+    EXPECT_EQ(second.perf().cellsSimulated, 1u);
+    EXPECT_EQ(second.perf().cellsCached, 7u);
+
+    fs::remove_all(dir);
+}
+
+TEST(CampaignTest, RunCellMatchesCampaignCell)
+{
+    const SweepSpec spec = tinySpec();
+    const std::vector<Cell> cells = spec.expand();
+    std::string terr;
+    const auto topo = makeTopologyByName(spec.topology, terr);
+    ASSERT_TRUE(topo) << terr;
+
+    CampaignOptions opt;
+    const obs::JsonValue results = Campaign(spec, opt).run();
+    obs::JsonValue lone = Campaign::runCell(spec, cells[3], topo);
+    // run() additionally stamps each cell with the spec fingerprint
+    // (the resume-compatibility check); fold it in before comparing.
+    const obs::JsonValue &inRun = results["cells"].at(3);
+    ASSERT_TRUE(inRun["specFingerprint"].isString());
+    lone.set("specFingerprint", inRun["specFingerprint"]);
+    EXPECT_EQ(lone.dump(2), inRun.dump(2));
+}
+
+} // namespace
+} // namespace spin::exp

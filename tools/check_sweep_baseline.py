@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare two spin-sweep-bench records (bench/BENCH_sweep.json format).
+
+The record has two parts with different contracts:
+
+* ``digest`` -- the deterministic per-cell results (latency, throughput,
+  flits ejected, spins). The simulator is bit-deterministic for a given
+  spec, so these must match the committed baseline essentially exactly;
+  a drift here means the simulation changed behaviour and the baseline
+  must be regenerated *deliberately* (see EXPERIMENTS.md).
+* ``perf`` -- wall-clock throughput of the run. Machine-dependent, so it
+  is reported but never gated by default; ``--min-cells-per-sec`` adds a
+  floor for environments with known hardware.
+
+Exit codes: 0 match, 1 mismatch, 2 usage/IO error.
+
+Usage:
+    tools/check_sweep_baseline.py bench/BENCH_sweep.json new.json
+    tools/check_sweep_baseline.py a.json b.json --rtol 1e-6
+"""
+
+import argparse
+import json
+import math
+import sys
+
+DIGEST_FIELDS = ("latency", "throughput", "flitsEjected", "spins")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"check_sweep_baseline: cannot read {path}: {e}")
+
+
+def close(a, b, rtol):
+    if a is None or b is None:
+        return a is b
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    fa, fb = float(a), float(b)
+    if math.isnan(fa) or math.isnan(fb):
+        return False
+    return abs(fa - fb) <= rtol * max(abs(fa), abs(fb), 1.0)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Gate a spin_sweep run against the committed "
+                    "BENCH_sweep.json baseline.")
+    ap.add_argument("baseline", help="committed baseline record")
+    ap.add_argument("candidate", help="freshly generated record")
+    ap.add_argument("--rtol", type=float, default=1e-9,
+                    help="relative tolerance for digest numerics "
+                         "(default %(default)g; the run is "
+                         "deterministic, so keep this tight)")
+    ap.add_argument("--min-cells-per-sec", type=float, default=None,
+                    help="optional floor on the candidate's "
+                         "perf.cellsPerSec")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    errors = []
+    for rec, name in ((base, args.baseline), (cand, args.candidate)):
+        if rec.get("schema") != "spin-sweep-bench/v1":
+            errors.append(f"{name}: schema is {rec.get('schema')!r}, "
+                          "want 'spin-sweep-bench/v1'")
+    if errors:
+        print("\n".join(errors))
+        return 1
+
+    if base.get("spec") != cand.get("spec"):
+        errors.append(f"spec mismatch: baseline ran "
+                      f"{base.get('spec')!r}, candidate "
+                      f"{cand.get('spec')!r}")
+
+    bcells = {c["cell"]: c for c in base.get("digest", [])}
+    ccells = {c["cell"]: c for c in cand.get("digest", [])}
+    for missing in sorted(bcells.keys() - ccells.keys()):
+        errors.append(f"cell missing from candidate: {missing}")
+    for extra in sorted(ccells.keys() - bcells.keys()):
+        errors.append(f"cell not in baseline: {extra}")
+
+    for cell in sorted(bcells.keys() & ccells.keys()):
+        b, c = bcells[cell], ccells[cell]
+        for field in DIGEST_FIELDS:
+            if not close(b.get(field), c.get(field), args.rtol):
+                errors.append(
+                    f"{cell}: {field} drifted "
+                    f"{b.get(field)!r} -> {c.get(field)!r}")
+
+    bperf = base.get("perf", {})
+    cperf = cand.get("perf", {})
+    print(f"perf: baseline {bperf.get('cellsPerSec', 0):.2f} cells/s "
+          f"(-j{bperf.get('jobs', '?')}), candidate "
+          f"{cperf.get('cellsPerSec', 0):.2f} cells/s "
+          f"(-j{cperf.get('jobs', '?')})")
+    if args.min_cells_per_sec is not None:
+        got = float(cperf.get("cellsPerSec", 0.0))
+        if got < args.min_cells_per_sec:
+            errors.append(f"perf floor: {got:.2f} cells/s < "
+                          f"{args.min_cells_per_sec:.2f}")
+
+    if errors:
+        print(f"FAIL: {len(errors)} mismatch(es) vs {args.baseline}:")
+        for e in errors:
+            print(f"  {e}")
+        print("If the simulation change is intentional, regenerate the "
+              "baseline (see EXPERIMENTS.md) and commit it.")
+        return 1
+
+    print(f"OK: {len(bcells)} digest cells match within "
+          f"rtol={args.rtol:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
