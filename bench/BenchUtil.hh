@@ -30,7 +30,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/Logging.hh"
 #include "exp/ArgParse.hh"
+#include "fault/FaultSchedule.hh"
 #include "network/NetworkBuilder.hh"
 #include "obs/Json.hh"
 #include "obs/Tracer.hh"
@@ -49,6 +51,7 @@ struct Options
     bool seedSet = false;
     std::string jsonPath;
     std::string tracePath;
+    std::string faultsPath;
 
     static const char *
     usage()
@@ -61,6 +64,8 @@ struct Options
                "  --json PATH    write results as JSON\n"
                "  --trace PATH   write a Chrome trace of the first "
                "network\n"
+               "  --faults PATH  inject faults from a spin-faults/v1 "
+               "spec\n"
                "  --help         this message\n";
     }
 
@@ -79,6 +84,7 @@ struct Options
             exp::argU64("--seed", &o.seed, &o.seedSet),
             exp::argStr("--json", &o.jsonPath),
             exp::argStr("--trace", &o.tracePath),
+            exp::argStr("--faults", &o.faultsPath),
             exp::argFlag("--fast", &o.fast),
         };
         if (!exp::parseArgs(argc, argv, specs, err))
@@ -165,6 +171,14 @@ sweep(const ConfigPreset &preset,
         auto net = preset.build(topo);
         if (instrument)
             instrument(*net);
+        if (!opt.faultsPath.empty()) {
+            fault::FaultSchedule fs;
+            std::string ferr;
+            if (!fault::FaultSchedule::fromFile(opt.faultsPath, fs,
+                                                ferr))
+                SPIN_FATAL(ferr);
+            net->attachFaults(std::move(fs));
+        }
         InjectorConfig icfg;
         icfg.injectionRate = rate;
         icfg.seed = preset.cfg.seed + 1;
@@ -298,6 +312,8 @@ class BenchReporter
         o.set("fast", JsonValue(opt.fast));
         if (opt.seedSet)
             o.set("seed", JsonValue(opt.seed));
+        if (!opt.faultsPath.empty())
+            o.set("faults", JsonValue(opt.faultsPath));
         root_.set("options", std::move(o));
         root_.set("sweeps", JsonValue::array());
     }

@@ -28,6 +28,7 @@
 #include "exp/Campaign.hh"
 #include "exp/Report.hh"
 #include "exp/SweepSpec.hh"
+#include "fault/FaultSchedule.hh"
 
 namespace spin::bench
 {
@@ -48,6 +49,8 @@ campaignUsage()
            "  --warmup N      override the spec's warmup window\n"
            "  --measure N     override the spec's measure window\n"
            "  --fast          quarter-scale warmup/measure\n"
+           "  --faults PATH   inject a spin-faults/v1 schedule into\n"
+           "                  every cell (docs/FAULTS.md)\n"
            "  --seed N        run with the single seed N\n"
            "  --out DIR       per-cell result dir (default\n"
            "                  sweep-out/<spec>); enables resume\n"
@@ -76,7 +79,7 @@ runCampaignMain(const char *banner,
     bool warmupSet = false, measureSet = false, seedSet = false;
     bool fast = false, resume = false, progress = false;
     bool noCells = false, help = false;
-    std::string outDir, jsonPath;
+    std::string outDir, jsonPath, faultsPath;
 
     const std::vector<exp::ArgSpec> specs = {
         exp::argU64("-j", &jobs),
@@ -84,6 +87,7 @@ runCampaignMain(const char *banner,
         exp::argU64("--warmup", &warmup, &warmupSet),
         exp::argU64("--measure", &measure, &measureSet),
         exp::argFlag("--fast", &fast),
+        exp::argStr("--faults", &faultsPath),
         exp::argU64("--seed", &seed, &seedSet),
         exp::argStr("--out", &outDir),
         exp::argFlag("--no-cells", &noCells),
@@ -102,6 +106,13 @@ runCampaignMain(const char *banner,
     if (help) {
         std::printf("usage: %s [options]\n%s", argv[0], campaignUsage());
         return 0;
+    }
+
+    fault::FaultSchedule faultSchedule;
+    if (!faultsPath.empty() &&
+        !fault::FaultSchedule::fromFile(faultsPath, faultSchedule, err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
     }
 
     std::printf("%s\n\n", banner);
@@ -130,6 +141,7 @@ runCampaignMain(const char *banner,
         copt.jobs = static_cast<int>(jobs);
         copt.resume = resume;
         copt.progress = progress;
+        copt.faultSchedule = faultSchedule;
         if (!noCells) {
             copt.cellDir = outDir.empty() ? "sweep-out/" + spec.name
                            : specNames.size() == 1

@@ -105,6 +105,8 @@ CdgBuilder::build(VnetId vnet, std::uint64_t max_states) const
         for (RouterId dest = 0; dest < nr; ++dest) {
             if (src == dest)
                 continue;
+            if (topo.partial() && topo.distance(src, dest) < 0)
+                continue; // unreachable on a degraded topology
             algo.initialStates(src, dest, vnet, inits);
             for (const RouteState &s : inits) {
                 algo.enumerateHops(s, hops);

@@ -62,6 +62,15 @@ struct Packet
     /** Number of SPIN rotations this packet took part in. */
     int spins = 0;
 
+    /// @name Fault-injection marks (src/fault)
+    /// @{
+    /** A transient fault corrupted a flit of this packet in flight. */
+    bool corrupted = false;
+    /** A transient fault marked this packet for discard at the
+     *  destination NIC (it still ejects; only accounting differs). */
+    bool faultDropped = false;
+    /// @}
+
     /** True once sourceRoute() ran at the source NIC. */
     bool sourceRouted = false;
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/Logging.hh"
+#include "fault/FaultInjector.hh"
 #include "network/Network.hh"
 #include "obs/Tracer.hh"
 #include "router/Router.hh"
@@ -93,9 +94,13 @@ SpinManager::smPhase(Cycle now)
                 continue;
             const LinkSpec &spec = net_.link(li).spec();
             for (SpecialMsg &sm : smLines_[li].drain(now)) {
+                --smsInFlight_;
+                // SMs in flight toward a router that died mid-wire are
+                // lost with it (the dead unit must not process them).
+                if (net_.faults() && net_.faults()->routerDead(spec.dst))
+                    continue;
                 arrivals.push_back(Arrival{spec.dst, spec.dstPort,
                                            std::move(sm)});
-                --smsInFlight_;
             }
         }
     }
@@ -174,6 +179,16 @@ SpinManager::launch(std::vector<SmSend> &sends, Cycle now)
         // sends[i] is the winner of this link's contention group.
         SmSend &win = sends[i];
         const int li = net_.linkIndexOf(win.from, win.outport);
+        if (li >= 0 && net_.faults() && net_.faults()->linkFailed(li)) {
+            // The wire is gone: the whole group is lost. The sender's
+            // FSM recovers through its normal timeout path.
+            st.smContentionDrops += j - i;
+            if (tr)
+                tr->spin(now, "sm_fault_drop", win.from,
+                         smName(win.sm.type), win.sm.sender);
+            i = j;
+            continue;
+        }
         if (li >= 0) {
             Link &link = net_.link(li);
             link.occupySm(now, win.sm.type == SmType::Probe

@@ -382,6 +382,18 @@ SpinUnit::onKillReturned(Cycle now)
 }
 
 void
+SpinUnit::abortForFault(Cycle now)
+{
+    (void)now;
+    unfreezeAll();
+    loop_.clear();
+    ptrInport_ = kInvalidId;
+    ptrVc_ = kInvalidId;
+    state_ = InitState::Off;
+    deadline_ = kNeverCycle;
+}
+
+void
 SpinUnit::onSpinExecuted(Cycle now)
 {
     frozen_.clear();

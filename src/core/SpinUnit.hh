@@ -103,6 +103,13 @@ class SpinUnit
     void onMoveReturned(const SpecialMsg &sm, PortId inport, Cycle now);
     /** kill_move returned: clear recovery state. */
     void onKillReturned(Cycle now);
+    /**
+     * The router died (fault injection): drop every frozen entry and
+     * all detection/recovery state without sending anything. The
+     * router's buffers are purged by markDead, so watching them would
+     * touch freed packet state.
+     */
+    void abortForFault(Cycle now);
     /** Abort the current recovery with a kill_move traversal. */
     void sendKill(Cycle now);
     /**

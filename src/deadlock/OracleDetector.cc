@@ -1,6 +1,7 @@
 #include "deadlock/OracleDetector.hh"
 
 #include "common/Logging.hh"
+#include "fault/FaultInjector.hh"
 #include "network/Network.hh"
 #include "router/Router.hh"
 #include "routing/RoutingAlgorithm.hh"
@@ -58,6 +59,8 @@ OracleDetector::detect() const
     }
 
     const RoutingAlgorithm &algo = net_.routing();
+    const fault::FaultInjector *fi = net_.faults();
+    const bool faulty = fi && fi->anyPermanent();
     std::vector<PortId> cands;
     std::vector<VcId> allowed;
 
@@ -78,12 +81,45 @@ OracleDetector::detect() const
                 cands.push_back(westFirstNextPort(*topo.mesh, b.r,
                                                   pkt.destRouter));
             } else {
-                const RouterId target =
+                RouterId target =
                     (pkt.intermediate != kInvalidId && !pkt.phaseTwo &&
                      pkt.intermediate != b.r)
                     ? pkt.intermediate
                     : pkt.destRouter;
+                if (faulty && target != pkt.destRouter &&
+                    fi->degradedDistance(b.r, target) < 0)
+                    target = pkt.destRouter; // detour abandoned
                 algo.candidates(pkt, rt, target, cands);
+                if (faulty) {
+                    // Mirror Router::filterFaultyPorts: keep only live
+                    // ports that strictly reduce the degraded distance,
+                    // else fall back to the degraded minimal tables. An
+                    // unreachable target means the router purges the
+                    // packet, which is progress, not deadlock.
+                    const int dh = fi->degradedDistance(b.r, target);
+                    if (dh < 0) {
+                        flag = 1;
+                        changed = true;
+                        continue;
+                    }
+                    std::size_t w = 0;
+                    for (const PortId c : cands) {
+                        if (!fi->outPortAlive(b.r, c))
+                            continue;
+                        const LinkSpec *l = topo.outLink(b.r, c);
+                        if (!l || fi->degradedDistance(l->dst, target) !=
+                                      dh - 1)
+                            continue;
+                        cands[w++] = c;
+                    }
+                    if (w != 0) {
+                        cands.resize(w);
+                    } else {
+                        const std::vector<PortId> &mp =
+                            fi->degraded().minimalPorts(b.r, target);
+                        cands.assign(mp.begin(), mp.end());
+                    }
+                }
             }
 
             bool can = false;

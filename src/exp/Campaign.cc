@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "common/Logging.hh"
+#include "fault/FaultInjector.hh"
+#include "fault/FaultSchedule.hh"
 #include "network/Network.hh"
 #include "traffic/SyntheticInjector.hh"
 
@@ -19,11 +21,15 @@ namespace spin::exp
 namespace
 {
 
-/** Spec fingerprint stamped into cell files to invalidate stale caches. */
+/** Spec fingerprint stamped into cell files to invalidate stale caches.
+ *  A fixed fault schedule changes every cell's behaviour, so it is part
+ *  of the fingerprint even though it lives outside the spec. */
 std::string
-specFingerprint(const SweepSpec &spec)
+specFingerprint(const SweepSpec &spec, const fault::FaultSchedule &faults)
 {
-    const std::string text = spec.toJson().dump(0);
+    std::string text = spec.toJson().dump(0);
+    if (!faults.empty())
+        text += faults.toJson().dump(0);
     std::uint64_t h = 0xcbf29ce484222325ull;
     for (const char c : text) {
         h ^= static_cast<unsigned char>(c);
@@ -68,7 +74,8 @@ Campaign::Campaign(SweepSpec spec, CampaignOptions opt)
 
 obs::JsonValue
 Campaign::runCell(const SweepSpec &spec, const Cell &cell,
-                  const std::shared_ptr<const Topology> &topo)
+                  const std::shared_ptr<const Topology> &topo,
+                  const fault::FaultSchedule *extra_faults)
 {
     const ConfigPreset *reg = findPreset(cell.preset);
     SPIN_ASSERT(reg, "cell references unknown preset ", cell.preset);
@@ -80,6 +87,21 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
     icfg.injectionRate = cell.rate;
     icfg.seed = cell.netSeed + 1;
     SyntheticInjector inj(*net, cell.pattern, icfg);
+
+    fault::FaultSchedule faults;
+    if (extra_faults)
+        faults = *extra_faults;
+    if (cell.faultCount > 0) {
+        // The schedule seed derives from the cell seed alone, so a cell
+        // is bit-identical however the campaign is parallelized.
+        const fault::FaultSchedule dim =
+            fault::FaultSchedule::randomLinkFailures(
+                cell.faultCount, cell.netSeed + 2, spec.faultCycle);
+        faults.events.insert(faults.events.end(), dim.events.begin(),
+                             dim.events.end());
+    }
+    if (!faults.empty())
+        net->attachFaults(std::move(faults));
 
     for (Cycle i = 0; i < spec.warmup; ++i) {
         inj.tick();
@@ -106,6 +128,9 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
     c.set("rate", JsonValue(cell.rate));
     c.set("seed", JsonValue(cell.seed));
     c.set("netSeed", JsonValue(cell.netSeed));
+    c.set("faults", JsonValue(cell.faultCount));
+    if (const fault::FaultInjector *fi = net->faults())
+        c.set("faultSchedule", fi->toJson());
     c.set("latency", JsonValue(latency));
     c.set("netLatency", JsonValue(net->stats().avgNetLatency()));
     c.set("throughput", JsonValue(throughput));
@@ -144,7 +169,8 @@ Campaign::loadCached(const Cell &cell) const
     const obs::JsonValue *fp = doc.find("specFingerprint");
     const obs::JsonValue *stats = doc.find("stats");
     if (!id || !id->isString() || id->asString() != cell.id || !fp ||
-        !fp->isString() || fp->asString() != specFingerprint(spec_) ||
+        !fp->isString() ||
+        fp->asString() != specFingerprint(spec_, opt_.faultSchedule) ||
         !stats || !stats->isObject()) {
         return {};
     }
@@ -184,7 +210,10 @@ Campaign::run()
     const std::vector<Cell> cells = spec_.expand();
     perf_.cells = cells.size();
     std::vector<obs::JsonValue> results(cells.size());
-    const std::string fingerprint = specFingerprint(spec_);
+    const std::string fingerprint =
+        specFingerprint(spec_, opt_.faultSchedule);
+    const fault::FaultSchedule *extraFaults =
+        opt_.faultSchedule.empty() ? nullptr : &opt_.faultSchedule;
 
     if (!opt_.cellDir.empty()) {
         std::error_code ec;
@@ -223,7 +252,7 @@ Campaign::run()
                 return;
             const Cell &cell = cells[pending[slot]];
             try {
-                obs::JsonValue r = runCell(spec_, cell, topo);
+                obs::JsonValue r = runCell(spec_, cell, topo, extraFaults);
                 r.set("specFingerprint", obs::JsonValue(fingerprint));
                 if (!opt_.cellDir.empty() && !storeCell(cell, r)) {
                     std::lock_guard<std::mutex> lock(errMutex);
@@ -290,15 +319,18 @@ Campaign::run()
     for (const std::string &preset : spec_.presets) {
         for (const Pattern pattern : spec_.patterns) {
             for (const std::uint64_t seed : spec_.seeds) {
+              for (const int fc : spec_.faults) {
                 JsonValue s = JsonValue::object();
                 s.set("preset", JsonValue(preset));
                 s.set("pattern", JsonValue(toString(pattern)));
                 s.set("seed", JsonValue(seed));
+                s.set("faults", JsonValue(fc));
                 JsonValue points = JsonValue::array();
                 double saturation = 0.0;
                 for (const Cell &cell : cells) {
                     if (cell.preset != preset ||
-                        cell.pattern != pattern || cell.seed != seed) {
+                        cell.pattern != pattern || cell.seed != seed ||
+                        cell.faultCount != fc) {
                         continue;
                     }
                     const JsonValue &r = results[cell.index];
@@ -314,6 +346,7 @@ Campaign::run()
                 s.set("points", std::move(points));
                 s.set("saturationRate", JsonValue(saturation));
                 series.push(std::move(s));
+              }
             }
         }
     }

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "exp/SweepSpec.hh"
+#include "fault/FaultSchedule.hh"
 #include "obs/Json.hh"
 
 namespace spin::exp
@@ -42,6 +43,13 @@ struct CampaignOptions
     bool resume = false;
     /** Progress lines on stderr ("[12/30] cell ..."). */
     bool progress = false;
+    /**
+     * Fixed fault schedule attached to every cell's network (e.g. from
+     * spin_sweep --faults). Applied in addition to the spec's own
+     * random-failure dimension; identical for every cell, so the
+     * aggregate stays bit-identical for any -j.
+     */
+    fault::FaultSchedule faultSchedule;
 };
 
 /** Wall-clock accounting of one run() (not part of the results). */
@@ -84,9 +92,13 @@ class Campaign
     /** Wall-clock accounting of the last run(). */
     const CampaignPerf &perf() const { return perf_; }
 
-    /** Simulate one cell in isolation (used by run() and the tests). */
-    static obs::JsonValue runCell(const SweepSpec &spec, const Cell &cell,
-                                  const std::shared_ptr<const Topology> &topo);
+    /** Simulate one cell in isolation (used by run() and the tests).
+     *  @p extra_faults, when non-null, is attached on top of the cell's
+     *  own fault dimension. */
+    static obs::JsonValue
+    runCell(const SweepSpec &spec, const Cell &cell,
+            const std::shared_ptr<const Topology> &topo,
+            const fault::FaultSchedule *extra_faults = nullptr);
 
   private:
     SweepSpec spec_;

@@ -306,15 +306,41 @@ SweepSpec::fromJson(const obs::JsonValue &doc, SweepSpec &out,
         }
     }
 
+    const obs::JsonValue *faults = doc.find("faults");
+    if (faults) {
+        if (!faults->isArray() || faults->size() == 0) {
+            err = "spec: 'faults' must be a non-empty array of "
+                  "non-negative integers";
+            return false;
+        }
+        s.faults.clear();
+        for (std::size_t i = 0; i < faults->size(); ++i) {
+            if (!faults->at(i).isNumber() ||
+                faults->at(i).asNumber() < 0) {
+                err = "spec: 'faults' must contain only non-negative "
+                      "integers";
+                return false;
+            }
+            s.faults.push_back(static_cast<int>(faults->at(i).asNumber()));
+        }
+    }
+
     double warmup = static_cast<double>(s.warmup);
     double measure = static_cast<double>(s.measure);
+    double faultCycle = static_cast<double>(s.faultCycle);
     double seedBase = 0.0;
     if (!wantNumber(doc, "warmup", warmup, err) ||
         !wantNumber(doc, "measure", measure, err) ||
+        !wantNumber(doc, "faultCycle", faultCycle, err) ||
         !wantNumber(doc, "latencyCap", s.latencyCap, err) ||
         !wantNumber(doc, "seedBase", seedBase, err)) {
         return false;
     }
+    if (faultCycle < 0) {
+        err = "spec: need faultCycle >= 0";
+        return false;
+    }
+    s.faultCycle = static_cast<Cycle>(faultCycle);
     if (warmup < 0 || measure < 1) {
         err = "spec: need warmup >= 0 and measure >= 1";
         return false;
@@ -375,6 +401,11 @@ SweepSpec::toJson() const
     for (const std::uint64_t s : seeds)
         ss.push(JsonValue(s));
     o.set("seeds", std::move(ss));
+    JsonValue fs = JsonValue::array();
+    for (const int f : faults)
+        fs.push(JsonValue(f));
+    o.set("faults", std::move(fs));
+    o.set("faultCycle", JsonValue(faultCycle));
     o.set("warmup", JsonValue(warmup));
     o.set("measure", JsonValue(measure));
     o.set("latencyCap", JsonValue(latencyCap));
@@ -411,6 +442,12 @@ SweepSpec::validate() const
     }
     if (seeds.empty())
         return "spec: 'seeds' must be non-empty";
+    if (faults.empty())
+        return "spec: 'faults' must be non-empty";
+    for (const int f : faults) {
+        if (f < 0)
+            return "spec: fault counts must be >= 0";
+    }
     if (measure < 1)
         return "spec: need measure >= 1";
     return "";
@@ -421,33 +458,48 @@ SweepSpec::expand() const
 {
     std::vector<Cell> cells;
     cells.reserve(presets.size() * patterns.size() * rates.size() *
-                  seeds.size());
+                  seeds.size() * faults.size());
     for (const std::string &preset : presets) {
         for (const Pattern pattern : patterns) {
             for (const double rate : rates) {
                 for (const std::uint64_t seed : seeds) {
-                    Cell c;
-                    c.index = cells.size();
-                    c.preset = preset;
-                    c.pattern = pattern;
-                    c.rate = rate;
-                    c.seed = seed;
-                    c.netSeed = deriveCellSeed(seedBase, preset, pattern,
-                                               rate, seed);
-                    std::string id = preset + "__" + toString(pattern) +
-                                     "__r" + rateText(rate) + "__s" +
-                                     std::to_string(seed);
-                    for (char &ch : id) {
-                        const bool ok =
-                            (ch >= 'a' && ch <= 'z') ||
-                            (ch >= 'A' && ch <= 'Z') ||
-                            (ch >= '0' && ch <= '9') || ch == '_' ||
-                            ch == '-';
-                        if (!ok)
-                            ch = '_';
+                    for (const int fc : faults) {
+                        Cell c;
+                        c.index = cells.size();
+                        c.preset = preset;
+                        c.pattern = pattern;
+                        c.rate = rate;
+                        c.seed = seed;
+                        c.faultCount = fc;
+                        c.netSeed = deriveCellSeed(seedBase, preset,
+                                                   pattern, rate, seed);
+                        std::string id = preset + "__" +
+                                         toString(pattern) + "__r" +
+                                         rateText(rate) + "__s" +
+                                         std::to_string(seed);
+                        if (fc > 0) {
+                            // Fault cells get a distinct seed and id;
+                            // fc == 0 keeps both byte-identical to the
+                            // pre-dimension expansion.
+                            c.netSeed ^= splitmix64(
+                                0xfa0175ull +
+                                static_cast<std::uint64_t>(fc));
+                            if (c.netSeed == 0)
+                                c.netSeed = 1;
+                            id += "__f" + std::to_string(fc);
+                        }
+                        for (char &ch : id) {
+                            const bool ok =
+                                (ch >= 'a' && ch <= 'z') ||
+                                (ch >= 'A' && ch <= 'Z') ||
+                                (ch >= '0' && ch <= '9') || ch == '_' ||
+                                ch == '-';
+                            if (!ok)
+                                ch = '_';
+                        }
+                        c.id = std::move(id);
+                        cells.push_back(std::move(c));
                     }
-                    c.id = std::move(id);
-                    cells.push_back(std::move(c));
                 }
             }
         }
@@ -518,6 +570,17 @@ const BuiltinSpecText kBuiltins[] = {
                      "FAvORS_Min_1VC_SPIN"],
          "patterns": ["uniform-random", "transpose"],
          "rates": [0.02, 0.10, 0.18, 0.26, 0.34],
+         "warmup": 300, "measure": 700, "latencyCap": 400.0})"},
+    // Fault-dimension smoke: every cell runs once intact and once with
+    // 2 and 4 random link failures injected mid-warmup. Two seeds so
+    // CI exercises distinct degraded topologies each run.
+    {"ci-faults",
+     R"({"name": "ci-faults", "topology": "mesh8x8",
+         "presets": ["WestFirst_3VC", "MinAdaptive_3VC_SPIN"],
+         "patterns": ["uniform-random"],
+         "rates": [0.05, 0.15],
+         "seeds": [1, 2],
+         "faults": [0, 2, 4], "faultCycle": 200,
          "warmup": 300, "measure": 700, "latencyCap": 400.0})"},
 };
 

@@ -45,6 +45,7 @@ struct Cell
     double rate = 0.0;          //!< offered load, flits/node/cycle
     std::uint64_t seed = 1;     //!< the seed-list entry
     std::uint64_t netSeed = 1;  //!< derived per-cell network seed
+    int faultCount = 0;         //!< random link failures to inject
     std::string id;             //!< unique, filesystem-safe cell name
 };
 
@@ -57,6 +58,16 @@ struct SweepSpec
     std::vector<Pattern> patterns;
     std::vector<double> rates;
     std::vector<std::uint64_t> seeds = {1};
+    /**
+     * Fault dimension: each entry is a count of random link failures
+     * injected at faultCycle (0 = the fault-free baseline). A cell with
+     * faultCount == 0 keeps the exact id and netSeed it had before the
+     * dimension existed, so adding faults to a spec never perturbs its
+     * baseline cells.
+     */
+    std::vector<int> faults = {0};
+    /** Injection cycle for the fault dimension (measured from reset). */
+    Cycle faultCycle = 1000;
     Cycle warmup = 2000;
     Cycle measure = 4000;
     /** Latency above which a point counts as saturated. */

@@ -1,0 +1,223 @@
+#include "fault/FaultInjector.hh"
+
+#include "common/Logging.hh"
+#include "network/Network.hh"
+#include "obs/Forensics.hh"
+#include "obs/Tracer.hh"
+#include "router/Router.hh"
+
+namespace spin::fault
+{
+
+FaultInjector::FaultInjector(Network &net, FaultSchedule schedule)
+    : net_(net), schedule_(std::move(schedule))
+{
+    const std::string verr = schedule_.validate(net_.topo());
+    if (!verr.empty())
+        SPIN_FATAL(verr);
+    concrete_ = schedule_.concretize(net_.topo());
+    failedLink_.assign(net_.numLinks(), 0);
+    deadRouter_.assign(net_.numRouters(), 0);
+    pendingCorrupt_.assign(net_.numLinks(), 0);
+    pendingDrop_.assign(net_.numLinks(), 0);
+}
+
+const Topology &
+FaultInjector::degraded() const
+{
+    return degraded_ ? *degraded_ : net_.topo();
+}
+
+bool
+FaultInjector::outPortAlive(RouterId r, PortId p) const
+{
+    const int li = net_.linkIndexOf(r, p);
+    if (li < 0)
+        return true; // NIC / unwired: not a router-to-router channel
+    return !failedLink_[static_cast<std::size_t>(li)] &&
+           !deadRouter_[static_cast<std::size_t>(
+               net_.link(li).spec().dst)];
+}
+
+void
+FaultInjector::tick(Cycle now)
+{
+    if (nextIdx_ >= concrete_.size() || concrete_[nextIdx_].cycle > now)
+        return;
+
+    bool permanentApplied = false;
+    while (nextIdx_ < concrete_.size() &&
+           concrete_[nextIdx_].cycle <= now) {
+        const FaultEvent &e = concrete_[nextIdx_];
+        switch (e.kind) {
+          case FaultKind::LinkFail:
+            applyLinkFail(e);
+            permanentApplied = true;
+            break;
+          case FaultKind::RouterFail:
+            applyRouterFail(e, now);
+            permanentApplied = true;
+            break;
+          case FaultKind::Corrupt:
+          case FaultKind::Drop:
+            applyTransient(e);
+            break;
+          case FaultKind::RandomLinks:
+            SPIN_FATAL("unexpanded random-links event in injector");
+        }
+        noteApplied(e, now);
+        ++nextIdx_;
+    }
+
+    if (permanentApplied) {
+        anyPermanent_ = true;
+        degraded_ = degradedTopology(
+            net_.topo(),
+            {concrete_.begin(),
+             concrete_.begin() + static_cast<std::ptrdiff_t>(nextIdx_)});
+    }
+}
+
+void
+FaultInjector::failLinkIndex(int li)
+{
+    if (li < 0 || failedLink_[static_cast<std::size_t>(li)])
+        return;
+    failedLink_[static_cast<std::size_t>(li)] = 1;
+    net_.link(li).fail();
+}
+
+void
+FaultInjector::applyLinkFail(const FaultEvent &e)
+{
+    for (int li = 0; li < net_.numLinks(); ++li) {
+        const LinkSpec &s = net_.link(li).spec();
+        const bool match = (s.src == e.src && s.dst == e.dst) ||
+                           (s.src == e.dst && s.dst == e.src);
+        if (match)
+            failLinkIndex(li);
+    }
+    ++net_.stats().linksFailed;
+}
+
+void
+FaultInjector::applyRouterFail(const FaultEvent &e, Cycle now)
+{
+    if (deadRouter_[static_cast<std::size_t>(e.router)])
+        return;
+    deadRouter_[static_cast<std::size_t>(e.router)] = 1;
+    for (int li = 0; li < net_.numLinks(); ++li) {
+        const LinkSpec &s = net_.link(li).spec();
+        if (s.src == e.router || s.dst == e.router)
+            failLinkIndex(li);
+    }
+    net_.router(e.router).markDead(now);
+    ++net_.stats().routersFailed;
+}
+
+void
+FaultInjector::applyTransient(const FaultEvent &e)
+{
+    auto &pending =
+        e.kind == FaultKind::Corrupt ? pendingCorrupt_ : pendingDrop_;
+    // Arm the directed channel src -> dst; fall back to the reverse
+    // direction when the spec named the pair the other way round.
+    int armed = -1;
+    for (int pass = 0; pass < 2 && armed < 0; ++pass) {
+        const RouterId from = pass == 0 ? e.src : e.dst;
+        const RouterId to = pass == 0 ? e.dst : e.src;
+        for (int li = 0; li < net_.numLinks(); ++li) {
+            const LinkSpec &s = net_.link(li).spec();
+            if (s.src == from && s.dst == to) {
+                ++pending[static_cast<std::size_t>(li)];
+                armed = li;
+                break;
+            }
+        }
+    }
+    ++net_.stats().transientFaults;
+}
+
+void
+FaultInjector::noteApplied(const FaultEvent &e, Cycle now)
+{
+    lastApplied_ = &concrete_[nextIdx_];
+
+    if (obs::Tracer *t = net_.trace()) {
+        obs::TraceEvent te;
+        te.cycle = now;
+        te.category = obs::kCatFault;
+        switch (e.kind) {
+          case FaultKind::LinkFail:   te.name = "link_fail"; break;
+          case FaultKind::RouterFail: te.name = "router_fail"; break;
+          case FaultKind::Corrupt:    te.name = "corrupt_arm"; break;
+          case FaultKind::Drop:       te.name = "drop_arm"; break;
+          case FaultKind::RandomLinks: te.name = "random_links"; break;
+        }
+        te.router = e.kind == FaultKind::RouterFail ? e.router : e.src;
+        te.arg0 = e.kind == FaultKind::RouterFail ? -1 : e.dst;
+        t->record(te);
+    }
+    if (obs::Forensics *f = net_.forensics())
+        f->noteFault(now, describe(e));
+}
+
+void
+FaultInjector::onFlitTraverse(int li, Packet &pkt, Cycle now)
+{
+    const auto i = static_cast<std::size_t>(li);
+    if (pendingCorrupt_[i] > 0) {
+        --pendingCorrupt_[i];
+        pkt.corrupted = true;
+        if (obs::Tracer *t = net_.trace()) {
+            obs::TraceEvent te;
+            te.cycle = now;
+            te.category = obs::kCatFault;
+            te.name = "flit_corrupt";
+            te.router = net_.link(li).spec().src;
+            te.packet = pkt.id;
+            te.arg0 = li;
+            t->record(te);
+        }
+    }
+    if (pendingDrop_[i] > 0) {
+        --pendingDrop_[i];
+        pkt.faultDropped = true;
+        if (obs::Tracer *t = net_.trace()) {
+            obs::TraceEvent te;
+            te.cycle = now;
+            te.category = obs::kCatFault;
+            te.name = "flit_drop";
+            te.router = net_.link(li).spec().src;
+            te.packet = pkt.id;
+            te.arg0 = li;
+            t->record(te);
+        }
+    }
+}
+
+obs::JsonValue
+FaultInjector::toJson() const
+{
+    using obs::JsonValue;
+    JsonValue o = JsonValue::object();
+    o.set("schedule", schedule_.toJson());
+    JsonValue applied = JsonValue::array();
+    for (std::size_t i = 0; i < nextIdx_; ++i)
+        applied.push(concrete_[i].toJson());
+    o.set("applied", std::move(applied));
+    o.set("pending",
+          JsonValue(static_cast<std::uint64_t>(concrete_.size() -
+                                               nextIdx_)));
+    int failed = 0;
+    for (const char f : failedLink_)
+        failed += f;
+    o.set("failedLinks", JsonValue(failed));
+    int dead = 0;
+    for (const char d : deadRouter_)
+        dead += d;
+    o.set("deadRouters", JsonValue(dead));
+    return o;
+}
+
+} // namespace spin::fault

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Runtime fault injector: applies a FaultSchedule to a live Network.
+ *
+ * The injector owns the fault state the rest of the simulator queries:
+ * which links have failed, which routers are dead, and the degraded
+ * routing tables (a Topology rebuilt with finalizePartial() after each
+ * permanent fault). Failure semantics are *drain-based*: a failed link
+ * or dead router stops accepting NEW commitments (routing filter, NIC
+ * admission gate, SM launch drop) while packets that already hold a
+ * granted VC drain normally -- so flow control never wedges on credits
+ * that will not return. With no injector attached every hook is a null
+ * check and behavior is bit-identical to the fault-free simulator.
+ */
+
+#ifndef SPINNOC_FAULT_FAULTINJECTOR_HH
+#define SPINNOC_FAULT_FAULTINJECTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/Packet.hh"
+#include "common/Types.hh"
+#include "fault/FaultSchedule.hh"
+#include "obs/Json.hh"
+
+namespace spin
+{
+class Network;
+}
+
+namespace spin::fault
+{
+
+/** See file comment. Owned by the Network (attachFaults). */
+class FaultInjector
+{
+  public:
+    /** @p schedule is validated and concretized against net's topology
+     *  (FatalError on an invalid schedule). */
+    FaultInjector(Network &net, FaultSchedule schedule);
+
+    /** Apply every event due at @p now. Called at the top of
+     *  Network::step(), before wire arrivals. */
+    void tick(Cycle now);
+
+    /// @name Fault state queries (hot paths)
+    /// @{
+    /** True when link index @p li has permanently failed. */
+    bool linkFailed(int li) const
+    {
+        return li >= 0 && failedLink_[static_cast<std::size_t>(li)];
+    }
+    /** True when router @p r has permanently failed. */
+    bool routerDead(RouterId r) const
+    {
+        return deadRouter_[static_cast<std::size_t>(r)];
+    }
+    /** True once any permanent fault has been applied -- the routing
+     *  fast path skips all fault filtering until then. */
+    bool anyPermanent() const { return anyPermanent_; }
+    /** True when out-port @p p of router @p r still leads somewhere
+     *  (NIC and unwired ports count as alive). */
+    bool outPortAlive(RouterId r, PortId p) const;
+    /// @}
+
+    /// @name Degraded routing tables
+    /// @{
+    /** The surviving topology (the base topology until the first
+     *  permanent fault). */
+    const Topology &degraded() const;
+    /** Hop distance in the surviving topology; -1 when unreachable. */
+    int degradedDistance(RouterId from, RouterId to) const
+    {
+        return degraded().distance(from, to);
+    }
+    /// @}
+
+    /** Transient-fault hook: called by Router::sendFlit for every flit
+     *  entering link @p li; consumes pending corrupt/drop arms. */
+    void onFlitTraverse(int li, Packet &pkt, Cycle now);
+
+    /** Concrete (macro-expanded) event list, sorted by cycle. */
+    const std::vector<FaultEvent> &events() const { return concrete_; }
+    /** Most recently applied event, nullptr before the first. */
+    const FaultEvent *lastApplied() const { return lastApplied_; }
+    /** Events applied so far. */
+    std::size_t applied() const { return nextIdx_; }
+
+    obs::JsonValue toJson() const;
+
+  private:
+    void applyLinkFail(const FaultEvent &e);
+    void applyRouterFail(const FaultEvent &e, Cycle now);
+    void applyTransient(const FaultEvent &e);
+    void failLinkIndex(int li);
+    void noteApplied(const FaultEvent &e, Cycle now);
+
+    Network &net_;
+    FaultSchedule schedule_;
+    std::vector<FaultEvent> concrete_;
+    std::size_t nextIdx_ = 0;
+
+    std::vector<char> failedLink_;
+    std::vector<char> deadRouter_;
+    bool anyPermanent_ = false;
+    const FaultEvent *lastApplied_ = nullptr;
+
+    /** Per-link armed transient counts, consumed by onFlitTraverse. */
+    std::vector<int> pendingCorrupt_;
+    std::vector<int> pendingDrop_;
+
+    /** Rebuilt after each tick that applied a permanent event. */
+    std::shared_ptr<const Topology> degraded_;
+};
+
+} // namespace spin::fault
+
+#endif // SPINNOC_FAULT_FAULTINJECTOR_HH

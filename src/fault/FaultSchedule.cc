@@ -1,0 +1,382 @@
+#include "fault/FaultSchedule.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/Logging.hh"
+
+namespace spin::fault
+{
+
+namespace
+{
+
+/** splitmix64: the schedule's only randomness source (deterministic). */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+bool
+kindFromString(const std::string &s, FaultKind &out)
+{
+    if (s == "link")
+        out = FaultKind::LinkFail;
+    else if (s == "router")
+        out = FaultKind::RouterFail;
+    else if (s == "corrupt")
+        out = FaultKind::Corrupt;
+    else if (s == "drop")
+        out = FaultKind::Drop;
+    else if (s == "random-links")
+        out = FaultKind::RandomLinks;
+    else
+        return false;
+    return true;
+}
+
+bool
+wantInt(const obs::JsonValue &ev, const char *key, std::int64_t &out,
+        std::string &err, std::size_t idx)
+{
+    const obs::JsonValue *v = ev.find(key);
+    if (!v || !v->isNumber()) {
+        err = "faults: event " + std::to_string(idx) +
+              " needs an integer '" + key + "'";
+        return false;
+    }
+    out = static_cast<std::int64_t>(v->asNumber());
+    return true;
+}
+
+/**
+ * Canonical undirected router pairs that carry at least one link, in
+ * ascending (lo, hi) order -- the candidate set "random-links" picks
+ * from and the unit a LinkFail event kills.
+ */
+std::vector<std::pair<RouterId, RouterId>>
+linkPairs(const Topology &topo)
+{
+    std::vector<std::pair<RouterId, RouterId>> pairs;
+    for (const LinkSpec &l : topo.links()) {
+        const RouterId lo = std::min(l.src, l.dst);
+        const RouterId hi = std::max(l.src, l.dst);
+        pairs.emplace_back(lo, hi);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    return pairs;
+}
+
+} // namespace
+
+const char *
+toString(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::LinkFail:    return "link";
+      case FaultKind::RouterFail:  return "router";
+      case FaultKind::Corrupt:     return "corrupt";
+      case FaultKind::Drop:        return "drop";
+      case FaultKind::RandomLinks: return "random-links";
+    }
+    return "?";
+}
+
+std::string
+describe(const FaultEvent &e)
+{
+    const std::string at = " @ cycle " + std::to_string(e.cycle);
+    switch (e.kind) {
+      case FaultKind::LinkFail:
+        return "link " + std::to_string(e.src) + "<->" +
+               std::to_string(e.dst) + " failed" + at;
+      case FaultKind::RouterFail:
+        return "router " + std::to_string(e.router) + " failed" + at;
+      case FaultKind::Corrupt:
+        return "corrupt on link " + std::to_string(e.src) + "->" +
+               std::to_string(e.dst) + at;
+      case FaultKind::Drop:
+        return "drop on link " + std::to_string(e.src) + "->" +
+               std::to_string(e.dst) + at;
+      case FaultKind::RandomLinks:
+        return std::to_string(e.count) + " random links" + at;
+    }
+    return "?";
+}
+
+obs::JsonValue
+FaultEvent::toJson() const
+{
+    using obs::JsonValue;
+    JsonValue o = JsonValue::object();
+    o.set("cycle", JsonValue(cycle));
+    o.set("kind", JsonValue(toString(kind)));
+    switch (kind) {
+      case FaultKind::LinkFail:
+      case FaultKind::Corrupt:
+      case FaultKind::Drop:
+        o.set("src", JsonValue(src));
+        o.set("dst", JsonValue(dst));
+        break;
+      case FaultKind::RouterFail:
+        o.set("router", JsonValue(router));
+        break;
+      case FaultKind::RandomLinks:
+        o.set("count", JsonValue(count));
+        o.set("seed", JsonValue(seed));
+        break;
+    }
+    return o;
+}
+
+bool
+FaultSchedule::fromJson(const obs::JsonValue &doc, FaultSchedule &out,
+                        std::string &err)
+{
+    if (!doc.isObject()) {
+        err = "faults: top-level document must be a JSON object";
+        return false;
+    }
+    const obs::JsonValue &schema = doc["schema"];
+    if (!schema.isString() || schema.asString() != kSchema) {
+        err = std::string("faults: 'schema' must be '") + kSchema + "'";
+        return false;
+    }
+    const obs::JsonValue *events = doc.find("events");
+    if (!events || !events->isArray()) {
+        err = "faults: 'events' must be an array";
+        return false;
+    }
+
+    FaultSchedule s;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const obs::JsonValue &ev = events->at(i);
+        if (!ev.isObject()) {
+            err = "faults: event " + std::to_string(i) +
+                  " must be an object";
+            return false;
+        }
+        FaultEvent e;
+        const obs::JsonValue &kind = ev["kind"];
+        if (!kind.isString() ||
+            !kindFromString(kind.asString(), e.kind)) {
+            err = "faults: event " + std::to_string(i) +
+                  " has unknown kind (want link, router, corrupt, "
+                  "drop, or random-links)";
+            return false;
+        }
+        const obs::JsonValue *cyc = ev.find("cycle");
+        if (!cyc || !cyc->isNumber() || cyc->asNumber() < 0) {
+            err = "faults: event " + std::to_string(i) +
+                  " needs a non-negative 'cycle'";
+            return false;
+        }
+        e.cycle = cyc->asU64();
+
+        std::int64_t v = 0;
+        switch (e.kind) {
+          case FaultKind::LinkFail:
+          case FaultKind::Corrupt:
+          case FaultKind::Drop:
+            if (!wantInt(ev, "src", v, err, i))
+                return false;
+            e.src = static_cast<RouterId>(v);
+            if (!wantInt(ev, "dst", v, err, i))
+                return false;
+            e.dst = static_cast<RouterId>(v);
+            break;
+          case FaultKind::RouterFail:
+            if (!wantInt(ev, "router", v, err, i))
+                return false;
+            e.router = static_cast<RouterId>(v);
+            break;
+          case FaultKind::RandomLinks:
+            if (!wantInt(ev, "count", v, err, i))
+                return false;
+            if (v < 1) {
+                err = "faults: event " + std::to_string(i) +
+                      " needs count >= 1";
+                return false;
+            }
+            e.count = static_cast<int>(v);
+            if (!wantInt(ev, "seed", v, err, i))
+                return false;
+            e.seed = static_cast<std::uint64_t>(v);
+            break;
+        }
+        s.events.push_back(e);
+    }
+    out = std::move(s);
+    return true;
+}
+
+bool
+FaultSchedule::fromFile(const std::string &path, FaultSchedule &out,
+                        std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = "cannot open fault spec file " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    std::string perr;
+    const obs::JsonValue doc = obs::JsonValue::parse(text.str(), &perr);
+    if (doc.isNull() && !perr.empty()) {
+        err = path + ": " + perr;
+        return false;
+    }
+    return fromJson(doc, out, err);
+}
+
+obs::JsonValue
+FaultSchedule::toJson() const
+{
+    using obs::JsonValue;
+    JsonValue o = JsonValue::object();
+    o.set("schema", JsonValue(kSchema));
+    JsonValue evs = JsonValue::array();
+    for (const FaultEvent &e : events)
+        evs.push(e.toJson());
+    o.set("events", std::move(evs));
+    return o;
+}
+
+std::string
+FaultSchedule::validate(const Topology &topo) const
+{
+    const int nr = topo.numRouters();
+    const auto pairs = linkPairs(topo);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent &e = events[i];
+        const std::string at = "faults: event " + std::to_string(i);
+        switch (e.kind) {
+          case FaultKind::LinkFail:
+          case FaultKind::Corrupt:
+          case FaultKind::Drop: {
+            if (e.src < 0 || e.src >= nr || e.dst < 0 || e.dst >= nr)
+                return at + ": link endpoint out of range";
+            const auto key = std::make_pair(std::min(e.src, e.dst),
+                                            std::max(e.src, e.dst));
+            if (!std::binary_search(pairs.begin(), pairs.end(), key))
+                return at + ": no link between routers " +
+                       std::to_string(e.src) + " and " +
+                       std::to_string(e.dst);
+            break;
+          }
+          case FaultKind::RouterFail:
+            if (e.router < 0 || e.router >= nr)
+                return at + ": router out of range";
+            break;
+          case FaultKind::RandomLinks:
+            if (e.count < 1 ||
+                e.count > static_cast<int>(pairs.size())) {
+                return at + ": count must be in [1, " +
+                       std::to_string(pairs.size()) + "]";
+            }
+            break;
+        }
+    }
+    return "";
+}
+
+std::vector<FaultEvent>
+FaultSchedule::concretize(const Topology &topo) const
+{
+    std::vector<FaultEvent> out;
+    for (const FaultEvent &e : events) {
+        if (e.kind != FaultKind::RandomLinks) {
+            out.push_back(e);
+            continue;
+        }
+        // Seed-derived selection of distinct physical links: draw from
+        // the canonical sorted pair list without replacement.
+        auto remaining = linkPairs(topo);
+        std::uint64_t s = e.seed;
+        const int n = std::min<int>(e.count,
+                                    static_cast<int>(remaining.size()));
+        for (int i = 0; i < n; ++i) {
+            const std::size_t pick =
+                splitmix64(s++) % remaining.size();
+            FaultEvent f;
+            f.cycle = e.cycle;
+            f.kind = FaultKind::LinkFail;
+            f.src = remaining[pick].first;
+            f.dst = remaining[pick].second;
+            out.push_back(f);
+            remaining.erase(remaining.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return out;
+}
+
+FaultSchedule
+FaultSchedule::randomLinkFailures(int count, std::uint64_t seed,
+                                  Cycle cycle)
+{
+    FaultSchedule s;
+    FaultEvent e;
+    e.cycle = cycle;
+    e.kind = FaultKind::RandomLinks;
+    e.count = count;
+    e.seed = seed;
+    s.events.push_back(e);
+    return s;
+}
+
+std::shared_ptr<const Topology>
+degradedTopology(const Topology &base,
+                 const std::vector<FaultEvent> &concrete)
+{
+    std::vector<char> deadRouter(base.numRouters(), 0);
+    std::vector<std::pair<RouterId, RouterId>> deadPairs;
+    for (const FaultEvent &e : concrete) {
+        if (e.kind == FaultKind::RouterFail) {
+            deadRouter[e.router] = 1;
+        } else if (e.kind == FaultKind::LinkFail) {
+            deadPairs.emplace_back(std::min(e.src, e.dst),
+                                   std::max(e.src, e.dst));
+        }
+    }
+    std::sort(deadPairs.begin(), deadPairs.end());
+
+    auto topo = std::make_shared<Topology>();
+    std::vector<int> radix;
+    radix.reserve(base.numRouters());
+    for (RouterId r = 0; r < base.numRouters(); ++r)
+        radix.push_back(base.radix(r));
+    topo->setRouters(radix);
+
+    for (const LinkSpec &l : base.links()) {
+        if (deadRouter[l.src] || deadRouter[l.dst])
+            continue;
+        const auto key = std::make_pair(std::min(l.src, l.dst),
+                                        std::max(l.src, l.dst));
+        if (std::binary_search(deadPairs.begin(), deadPairs.end(), key))
+            continue;
+        topo->addLink(l);
+    }
+    for (const NicAttach &a : base.nics())
+        topo->attachNic(a.node, a.router, a.port);
+
+    topo->mesh = base.mesh;
+    topo->dragonfly = base.dragonfly;
+    topo->ring = base.ring;
+    topo->name = base.name + "+faults";
+    topo->finalizePartial();
+    return topo;
+}
+
+} // namespace spin::fault

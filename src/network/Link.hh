@@ -147,6 +147,15 @@ class Link
     }
     /// @}
 
+    /// @name Fault state (mirror of the FaultInjector's bitmap)
+    /// @{
+    /** Mark the link permanently failed. Gating happens upstream (the
+     *  routing filter and SM launch consult the FaultInjector); the
+     *  flag here is for introspection and audits. */
+    void fail() { failed_ = true; }
+    bool failed() const { return failed_; }
+    /// @}
+
     /// @name Utilization counters (Fig. 8b)
     /// @{
     std::uint64_t flitUses() const { return flitUses_; }
@@ -174,6 +183,7 @@ class Link
     Cycle flitBusyUntil_ = 0;
     bool everBusy_ = false;
     Cycle smBusyAt_ = kNeverCycle;
+    bool failed_ = false;
     std::uint64_t flitUses_ = 0;
     std::uint64_t probeUses_ = 0;
     std::uint64_t moveUses_ = 0;

@@ -5,6 +5,7 @@
 #include "common/Logging.hh"
 #include "core/SpinManager.hh"
 #include "deadlock/StaticBubble.hh"
+#include "fault/FaultInjector.hh"
 #include "obs/Forensics.hh"
 #include "obs/Json.hh"
 #include "obs/Tracer.hh"
@@ -85,6 +86,11 @@ void
 Network::step()
 {
     const Cycle now = clock_.now();
+
+    // 0. Fault events due this cycle fire before anything moves, so a
+    // failed component never accepts new work in the same cycle.
+    if (faults_)
+        faults_->tick(now);
 
     // 1. Wire arrivals.
     for (Link &l : links_) {
@@ -221,6 +227,14 @@ Network::notifyEjected(const PacketPtr &pkt)
 }
 
 void
+Network::notifyLost(const PacketPtr &pkt)
+{
+    SPIN_ASSERT(inFlight_ > 0, "loss without matching offer");
+    (void)pkt;
+    --inFlight_;
+}
+
+void
 Network::beginMeasurement()
 {
     stats_.reset(clock_.now());
@@ -304,7 +318,19 @@ Network::telemetryJson() const
         root.set("samplers", samplers_->toJson());
     if (forensics_)
         root.set("forensics", forensics_->toJson());
+    if (faults_)
+        root.set("faults", faults_->toJson());
     return root;
+}
+
+fault::FaultInjector &
+Network::attachFaults(fault::FaultSchedule schedule)
+{
+    faults_ =
+        std::make_unique<fault::FaultInjector>(*this, std::move(schedule));
+    for (auto &rp : routers_)
+        rp->setFaultInjector(faults_.get());
+    return *faults_;
 }
 
 bool

@@ -46,6 +46,12 @@ class Forensics;
 class JsonValue;
 } // namespace obs
 
+namespace fault
+{
+class FaultInjector;
+struct FaultSchedule;
+} // namespace fault
+
 class RoutingAlgorithm;
 class SpinManager;
 class StaticBubbleUnit;
@@ -144,6 +150,10 @@ class Network
     void setEjectListener(std::function<void(const PacketPtr &)> fn);
     /** Called by NICs on tail ejection. */
     void notifyEjected(const PacketPtr &pkt);
+    /** Called when a packet is retired without ejecting (purged as
+     *  unroutable or lost to a dead router). Balances offerPacket's
+     *  in-flight count so drain loops still terminate under faults. */
+    void notifyLost(const PacketPtr &pkt);
     /** Packets currently inside NIC queues or the network. */
     std::uint64_t packetsInFlight() const { return inFlight_; }
     /// @}
@@ -186,6 +196,16 @@ class Network
     bool dumpTelemetry(const std::string &path) const;
     /// @}
 
+    /// @name Fault injection (src/fault)
+    /// @{
+    /** Attach a fault schedule (validated against the topology);
+     *  replaces any previous injector. Call before running. */
+    fault::FaultInjector &attachFaults(fault::FaultSchedule schedule);
+    /** Active injector, nullptr when the run is fault-free. */
+    fault::FaultInjector *faults() { return faults_.get(); }
+    const fault::FaultInjector *faults() const { return faults_.get(); }
+    /// @}
+
   private:
     std::shared_ptr<const Topology> topo_;
     NetworkConfig cfg_;
@@ -213,6 +233,7 @@ class Network
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::NetworkSamplers> samplers_;
     std::unique_ptr<obs::Forensics> forensics_;
+    std::unique_ptr<fault::FaultInjector> faults_;
 
     std::function<void(const PacketPtr &)> ejectListener_;
     PacketId nextPacketId_ = 1;

@@ -1,6 +1,7 @@
 #include "network/Nic.hh"
 
 #include "common/Logging.hh"
+#include "fault/FaultInjector.hh"
 #include "network/Network.hh"
 #include "obs/Tracer.hh"
 #include "routing/RoutingAlgorithm.hh"
@@ -41,6 +42,11 @@ Nic::drainWires(Cycle now)
     ejectWire_.drainInto(now, [&](const Flit &f) {
         if (f.isTail()) {
             f.pkt->ejectCycle = now;
+            // A drop-marked packet is discarded by the end node (CRC
+            // reject); it still ejected, so flow control is untouched
+            // and only the accounting differs.
+            if (f.pkt->faultDropped)
+                ++net_.stats().packetsDroppedAtNic;
             net_.stats().onEject(*f.pkt);
             if (obs::Tracer *t = net_.trace())
                 t->flit(now, "eject", router_, *f.pkt, port_, kInvalidId,
@@ -57,10 +63,53 @@ Nic::drainWires(Cycle now)
 void
 Nic::injectStep(Cycle now)
 {
+    const fault::FaultInjector *fi = net_.faults();
+    if (fi && fi->routerDead(router_)) {
+        // Our attachment router died: nothing queued here can ever
+        // enter the network. Retire everything so drain loops end.
+        Stats &st = net_.stats();
+        if (!cur_.empty()) {
+            st.flitsLostToFaults += cur_.size() - curIdx_;
+            ++st.packetsLostToFaults;
+            net_.notifyLost(cur_[0].pkt);
+            cur_.clear();
+            curIdx_ = 0;
+            curVc_ = kInvalidId;
+            queue_.pop_front();
+        }
+        while (!queue_.empty()) {
+            ++st.packetsUnroutable;
+            net_.notifyLost(queue_.front());
+            queue_.pop_front();
+        }
+        return;
+    }
+
     if (cur_.empty()) {
         if (queue_.empty())
             return;
         const PacketPtr &pkt = queue_.front();
+
+        if (fi && fi->anyPermanent() &&
+            (fi->routerDead(pkt->destRouter) ||
+             fi->degradedDistance(router_, pkt->destRouter) < 0)) {
+            // Destination unreachable on the degraded topology; refuse
+            // the packet at the source instead of wedging a VC.
+            ++net_.stats().packetsUnroutable;
+            if (obs::Tracer *t = net_.trace()) {
+                obs::TraceEvent e;
+                e.cycle = now;
+                e.category = obs::kCatFault;
+                e.name = "packet_unroutable";
+                e.router = router_;
+                e.packet = pkt->id;
+                e.port = port_;
+                t->record(e);
+            }
+            net_.notifyLost(pkt);
+            queue_.pop_front();
+            return; // one retirement per cycle keeps the step bounded
+        }
 
         if (!pkt->sourceRouted) {
             net_.routing().sourceRoute(*pkt, router_);

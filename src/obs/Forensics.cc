@@ -66,6 +66,12 @@ LoopSnapshot::toJson() const
         es.push(std::move(je));
     }
     obj.set("edges", std::move(es));
+    if (!precedingFault.empty()) {
+        JsonValue f = JsonValue::object();
+        f.set("cycle", JsonValue(precedingFaultCycle));
+        f.set("event", JsonValue(precedingFault));
+        obj.set("precedingFault", std::move(f));
+    }
     return obj;
 }
 
@@ -87,6 +93,20 @@ Forensics::clear()
 }
 
 void
+Forensics::noteFault(Cycle cycle, std::string description)
+{
+    lastFaultCycle_ = cycle;
+    lastFaultDesc_ = std::move(description);
+}
+
+void
+Forensics::stampFault(LoopSnapshot &snap) const
+{
+    snap.precedingFault = lastFaultDesc_;
+    snap.precedingFaultCycle = lastFaultCycle_;
+}
+
+void
 Forensics::onProbeReturned(Network &net, RouterId initiator,
                            PortId pointer_inport, VcId pointer_vc,
                            const SpecialMsg &probe, Cycle now)
@@ -97,6 +117,7 @@ Forensics::onProbeReturned(Network &net, RouterId initiator,
     LoopSnapshot snap;
     snap.cycle = now;
     snap.origin = "probe";
+    stampFault(snap);
     snap.initiator = initiator;
     snap.vnet = probe.vnet;
     snap.loopLatency = now - probe.sendCycle;
@@ -159,6 +180,7 @@ Forensics::onOracleReport(Network &net, const DeadlockReport &report,
     LoopSnapshot snap;
     snap.cycle = now;
     snap.origin = "oracle";
+    stampFault(snap);
 
     const Topology &topo = net.topo();
     for (const DeadlockMember &m : report.members) {
@@ -196,6 +218,12 @@ Forensics::toJson() const
 {
     JsonValue root = JsonValue::object();
     root.set("dropped", JsonValue(dropped_));
+    if (!lastFaultDesc_.empty()) {
+        JsonValue f = JsonValue::object();
+        f.set("cycle", JsonValue(lastFaultCycle_));
+        f.set("event", JsonValue(lastFaultDesc_));
+        root.set("lastFault", std::move(f));
+    }
     JsonValue arr = JsonValue::array();
     for (const LoopSnapshot &s : records_)
         arr.push(s.toJson());

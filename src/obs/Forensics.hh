@@ -54,6 +54,10 @@ struct LoopSnapshot
      *  unique order (oracle). */
     std::vector<RouterId> routers;
     std::vector<WaitForEdge> edges;
+    /** The injected fault applied most recently before this snapshot
+     *  (empty when the run had none). */
+    std::string precedingFault;
+    Cycle precedingFaultCycle = 0;
 
     /** Graphviz DOT rendering of the wait-for cycle. */
     std::string toDot() const;
@@ -82,6 +86,15 @@ class Forensics
     void onOracleReport(Network &net, const DeadlockReport &report,
                         Cycle now);
 
+    /**
+     * Record an applied fault (from the FaultInjector). Subsequent
+     * snapshots name it, so a detected deadlock points back to the
+     * fault that preceded it.
+     */
+    void noteFault(Cycle cycle, std::string description);
+    const std::string &lastFault() const { return lastFaultDesc_; }
+    Cycle lastFaultCycle() const { return lastFaultCycle_; }
+
     const std::vector<LoopSnapshot> &records() const { return records_; }
     /** Snapshots discarded after the record cap filled. */
     std::uint64_t dropped() const { return dropped_; }
@@ -97,8 +110,11 @@ class Forensics
     std::size_t maxRecords_;
     std::vector<LoopSnapshot> records_;
     std::uint64_t dropped_ = 0;
+    std::string lastFaultDesc_;
+    Cycle lastFaultCycle_ = 0;
 
     bool admit();
+    void stampFault(LoopSnapshot &snap) const;
 };
 
 } // namespace spin::obs

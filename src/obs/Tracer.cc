@@ -21,6 +21,8 @@ categoryName(std::uint32_t cat)
         return "sample";
     if (cat & kCatForensic)
         return "forensic";
+    if (cat & kCatFault)
+        return "fault";
     return "other";
 }
 
@@ -50,6 +52,8 @@ parseCategoryMask(const char *list)
             mask |= kCatSample;
         else if (is("forensic"))
             mask |= kCatForensic;
+        else if (is("fault"))
+            mask |= kCatFault;
         p = comma ? comma + 1 : p + n;
     }
     return mask ? mask : kCatAll;

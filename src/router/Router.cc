@@ -4,6 +4,7 @@
 
 #include "common/Logging.hh"
 #include "core/SpinUnit.hh"
+#include "fault/FaultInjector.hh"
 #include "network/Network.hh"
 #include "obs/Tracer.hh"
 #include "routing/RoutingAlgorithm.hh"
@@ -54,6 +55,17 @@ Router::setSpinUnit(std::unique_ptr<SpinUnit> u)
 void
 Router::receiveFlit(PortId inport, VcId vcid, Flit f)
 {
+    if (dead_) {
+        // Committed packets drain into the failure and vanish; the
+        // tail flit retires the packet (it is always at-or-upstream of
+        // every other fragment, so this fires exactly once).
+        ++net_.stats().flitsLostToFaults;
+        if (f.isTail()) {
+            ++net_.stats().packetsLostToFaults;
+            net_.notifyLost(f.pkt);
+        }
+        return;
+    }
     const Cycle now = net_.now();
     f.arrivedAt = now;
     inputs_[inport].vc(vcid).pushFlit(std::move(f), now);
@@ -66,7 +78,35 @@ Router::receiveFlit(PortId inport, VcId vcid, Flit f)
 void
 Router::receiveCredit(PortId outport, VcId vcid, bool is_free)
 {
+    if (dead_)
+        return;
     outputs_[outport].onCredit(vcid, is_free, net_.now());
+}
+
+void
+Router::markDead(Cycle now)
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    for (PortId p = 0; p < radix(); ++p) {
+        InputUnit &iu = inputs_[p];
+        for (VcId v = 0; v < iu.numVcs(); ++v) {
+            VirtualChannel &vc = iu.vc(v);
+            while (!vc.empty()) {
+                const Flit f = vc.popFlit();
+                --*load_;
+                ++net_.stats().flitsLostToFaults;
+                if (f.isTail()) {
+                    ++net_.stats().packetsLostToFaults;
+                    net_.notifyLost(f.pkt);
+                }
+            }
+        }
+        occupied_[p] = 0;
+    }
+    if (spin_)
+        spin_->abortForFault(now);
 }
 
 void
@@ -84,13 +124,16 @@ Router::computeRoutes()
                 continue;
             if (vc.grantedVc != kInvalidId)
                 continue; // committed; waiting only on switch/credits
-            routeVc(inport, v);
+            if (!routeVc(inport, v)) {
+                purgeUnroutable(inport, v);
+                continue;
+            }
             tryVcAllocation(inport, v);
         }
     }
 }
 
-void
+bool
 Router::routeVc(PortId inport, VcId vcid)
 {
     VirtualChannel &vc = inputs_[inport].vc(vcid);
@@ -102,12 +145,21 @@ Router::routeVc(PortId inport, VcId vcid)
     } else if (net_.config().scheme == DeadlockScheme::StaticBubble &&
                pkt.onEscape) {
         // Recovery packets drain on the reserved network via west-first.
+        // Not fault-filtered: the escape ring's deadlock freedom rests
+        // on the intact mesh, and spin_lint flags the degraded variant.
         SPIN_ASSERT(net_.topo().mesh.has_value(),
                     "static bubble escape requires a mesh");
         request = westFirstNextPort(*net_.topo().mesh, id_, pkt.destRouter);
     } else {
         if (pkt.intermediate != kInvalidId && !pkt.phaseTwo &&
             pkt.intermediate == id_) {
+            pkt.phaseTwo = true;
+        }
+        const bool faulty = faults_ && faults_->anyPermanent();
+        if (faulty && pkt.intermediate != kInvalidId && !pkt.phaseTwo &&
+            faults_->degradedDistance(id_, pkt.intermediate) < 0) {
+            // The phase-1 target died or got cut off: abandon the
+            // detour and head straight for the destination.
             pkt.phaseTwo = true;
         }
         const RouterId target =
@@ -118,6 +170,8 @@ Router::routeVc(PortId inport, VcId vcid)
         algo.candidates(pkt, *this, target, scratchPorts_);
         SPIN_ASSERT(!scratchPorts_.empty(), "routing produced no "
                     "candidates at router ", id_, " for ", pkt.toString());
+        if (faulty && !filterFaultyPorts(vc, pkt, target))
+            return false;
         request = algo.select(pkt, *this, scratchPorts_);
 
         // Request hysteresis: adaptive selection runs every cycle, but
@@ -138,6 +192,93 @@ Router::routeVc(PortId inport, VcId vcid)
 
     vc.request = request;
     vc.routeValid = true;
+    return true;
+}
+
+bool
+Router::filterFaultyPorts(VirtualChannel &vc, Packet &pkt,
+                          RouterId target)
+{
+    const int dh = faults_->degradedDistance(id_, target);
+    if (dh < 0)
+        return false; // no surviving path: unroutable
+
+    // Keep only candidates whose link is alive AND strictly reduces
+    // the degraded distance. The strict-decrease rule forfeits
+    // non-minimal adaptivity under faults but guarantees progress
+    // (no livelock between intact-table and degraded-table hops).
+    const Topology &topo = net_.topo();
+    std::size_t w = 0;
+    for (const PortId c : scratchPorts_) {
+        if (!faults_->outPortAlive(id_, c))
+            continue;
+        const LinkSpec *l = topo.outLink(id_, c);
+        if (!l || faults_->degradedDistance(l->dst, target) != dh - 1)
+            continue;
+        scratchPorts_[w++] = c;
+    }
+    if (w != 0) {
+        scratchPorts_.resize(w);
+        return true;
+    }
+
+    // The algorithm's candidates all died or detour: fall back to the
+    // degraded minimal tables (alive by construction, non-empty since
+    // dh >= 1).
+    const std::vector<PortId> &mp =
+        faults_->degraded().minimalPorts(id_, target);
+    SPIN_ASSERT(!mp.empty(), "degraded tables empty despite dh=", dh,
+                " at router ", id_);
+    scratchPorts_.assign(mp.begin(), mp.end());
+    if (!vc.routeValid) {
+        ++net_.stats().packetsRerouted;
+        if (obs::Tracer *t = net_.trace()) {
+            obs::TraceEvent e;
+            e.cycle = net_.now();
+            e.category = obs::kCatFault;
+            e.name = "reroute";
+            e.router = id_;
+            e.packet = pkt.id;
+            e.arg0 = target;
+            t->record(e);
+        }
+    }
+    return true;
+}
+
+void
+Router::purgeUnroutable(PortId inport, VcId vcid)
+{
+    VirtualChannel &vc = inputs_[inport].vc(vcid);
+    if (!vc.packetComplete())
+        return; // VCT: wait until the whole packet streamed in
+    const PacketPtr pkt = vc.owner();
+    const Cycle now = net_.now();
+
+    while (!vc.empty()) {
+        vc.popFlit();
+        --*load_;
+        creditUpstream(inport, vcid, vc.empty());
+    }
+    occupied_[inport] &= ~(std::uint64_t{1} << vcid);
+
+    if (spin_ && !inputs_[inport].fromNic())
+        spin_->onFlitDeparture(inport, vcid);
+
+    ++net_.stats().packetsUnroutable;
+    net_.notifyLost(pkt);
+
+    if (obs::Tracer *t = net_.trace()) {
+        obs::TraceEvent e;
+        e.cycle = now;
+        e.category = obs::kCatFault;
+        e.name = "packet_unroutable";
+        e.router = id_;
+        e.packet = pkt->id;
+        e.port = inport;
+        e.vc = vcid;
+        t->record(e);
+    }
 }
 
 bool
@@ -308,6 +449,9 @@ Router::sendFlit(PortId inport, VcId vcid)
     if (out.toNic()) {
         net_.nicAt(id_, outport).pushEject(now + 1, std::move(f));
     } else {
+        if (faults_)
+            faults_->onFlitTraverse(net_.linkIndexOf(id_, outport), *pkt,
+                                    now);
         outLink_[outport]->pushFlit(now, LinkFlit{std::move(f), dvc});
     }
 

@@ -31,6 +31,11 @@ namespace spin
 class Network;
 class SpinUnit;
 
+namespace fault
+{
+class FaultInjector;
+}
+
 /** See file comment. */
 class Router
 {
@@ -60,6 +65,24 @@ class Router
     SpinUnit *spinUnit() { return spin_.get(); }
     const SpinUnit *spinUnit() const { return spin_.get(); }
     void setSpinUnit(std::unique_ptr<SpinUnit> u);
+
+    /// @name Fault hooks (src/fault)
+    /// @{
+    /** Cache the network's injector (set by Network::attachFaults). */
+    void setFaultInjector(fault::FaultInjector *f) { faults_ = f; }
+    /** True once markDead() ran: the router accepts nothing. */
+    bool dead() const { return dead_; }
+    /**
+     * Permanent router failure: purge every buffered flit (packets
+     * whose tail is here are retired via Network::notifyLost; fragments
+     * whose tail is still upstream are retired when the tail arrives
+     * and is dropped), abort any SPIN state, and refuse all future
+     * flits and credits. No upstream credits are returned -- upstream
+     * output VCs pointing here stay allocated, which is the modeled
+     * loss, and new routes avoid the router via the degraded tables.
+     */
+    void markDead(Cycle now);
+    /// @}
 
     /// @name Per-cycle phases, called by Network::step()
     /// @{
@@ -125,6 +148,10 @@ class Router
     std::vector<OutputUnit> outputs_;
     std::vector<bool> nicPort_;
     std::unique_ptr<SpinUnit> spin_;
+    /** Network's fault injector, nullptr on fault-free runs. */
+    fault::FaultInjector *faults_ = nullptr;
+    /** See markDead(). */
+    bool dead_ = false;
 
     /** Per-outport round-robin pointer over input ports (SA stage 2). */
     std::vector<PortId> outRr_;
@@ -156,8 +183,18 @@ class Router
     mutable std::vector<VcId> scratchVcs_;
     std::vector<LinkFlit> scratchPacket_;
 
-    /** Compute/refresh the route request of one head VC. */
-    void routeVc(PortId inport, VcId vcid);
+    /** Compute/refresh the route request of one head VC. @return false
+     *  when no surviving path to the target exists (caller purges). */
+    bool routeVc(PortId inport, VcId vcid);
+    /** Restrict scratchPorts_ to alive, degraded-distance-decreasing
+     *  candidates (falling back to the degraded minimal tables).
+     *  @return false when @p target is unreachable. */
+    bool filterFaultyPorts(VirtualChannel &vc, Packet &pkt,
+                           RouterId target);
+    /** Retire the complete unroutable packet in (inport, vc): pop its
+     *  flits, return credits, account it, drop it. Waits (no-op) until
+     *  the whole packet has streamed into the VC. */
+    void purgeUnroutable(PortId inport, VcId vcid);
     /** True when @p outport has an idle VC @p pkt may acquire. */
     bool hasIdleAllowedVc(const Packet &pkt, PortId outport) const;
     /** Try to acquire a downstream VC for a routed head. */

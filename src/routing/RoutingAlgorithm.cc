@@ -115,6 +115,10 @@ RoutingAlgorithm::initialStates(RouterId src, RouterId dest, VnetId vnet,
     for (RouterId inter = 0; inter < nr; ++inter) {
         if (inter == src || inter == dest)
             continue;
+        if (net_->topo().partial() &&
+            (net_->topo().distance(src, inter) < 0 ||
+             net_->topo().distance(inter, dest) < 0))
+            continue; // detour severed on a degraded topology
         RouteState m = s;
         m.target = inter;
         m.misrouting = true;
@@ -146,6 +150,8 @@ RoutingAlgorithm::enumerateHops(const RouteState &s,
     std::vector<VcId> vcs;
     for (const PortId p : cands) {
         const LinkSpec *l = net_->topo().outLink(s.router, p);
+        if (!l && net_->topo().partial())
+            continue; // degraded topology: the link was cut by a fault
         SPIN_ASSERT(l, "candidate port ", p, " of router ", s.router,
                     " is unwired");
         allowedVcs(pkt, r, p, vcs);

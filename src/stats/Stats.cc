@@ -17,6 +17,8 @@ Stats::onEject(const Packet &pkt)
     hopsSum += pkt.hops;
     maxLatency = std::max(maxLatency, lat);
     spinsOfEjected += pkt.spins;
+    if (pkt.corrupted)
+        ++packetsCorrupted;
 
     const unsigned bucket = lat == 0
         ? 0
@@ -29,7 +31,14 @@ Stats::onEject(const Packet &pkt)
 void
 Stats::reset(Cycle now)
 {
+    // Structural fault state (how much of the fabric is gone) describes
+    // the network, not the measurement window; it survives the
+    // warmup-reset so post-warmup reports still name the damage.
+    const std::uint64_t lf = linksFailed;
+    const std::uint64_t rf = routersFailed;
     *this = Stats();
+    linksFailed = lf;
+    routersFailed = rf;
     windowStart = now;
 }
 
@@ -139,6 +148,18 @@ Stats::toJson() const
     JsonValue base = JsonValue::object();
     base.set("bubbleRecoveries", JsonValue(bubbleRecoveries));
     o.set("baseline", std::move(base));
+
+    JsonValue fl = JsonValue::object();
+    fl.set("linksFailed", JsonValue(linksFailed));
+    fl.set("routersFailed", JsonValue(routersFailed));
+    fl.set("transientFaults", JsonValue(transientFaults));
+    fl.set("packetsUnroutable", JsonValue(packetsUnroutable));
+    fl.set("packetsRerouted", JsonValue(packetsRerouted));
+    fl.set("packetsLostToFaults", JsonValue(packetsLostToFaults));
+    fl.set("flitsLostToFaults", JsonValue(flitsLostToFaults));
+    fl.set("packetsCorrupted", JsonValue(packetsCorrupted));
+    fl.set("packetsDroppedAtNic", JsonValue(packetsDroppedAtNic));
+    o.set("faults", std::move(fl));
 
     JsonValue derived = JsonValue::object();
     derived.set("avgLatency", JsonValue(avgLatency()));

@@ -78,6 +78,29 @@ class Stats
     std::uint64_t bubbleRecoveries = 0;
     /// @}
 
+    /// @name Fault injection (src/fault)
+    /// @{
+    /** Permanent link-failure events applied. */
+    std::uint64_t linksFailed = 0;
+    /** Permanent router-failure events applied. */
+    std::uint64_t routersFailed = 0;
+    /** Transient (corrupt/drop) events armed. */
+    std::uint64_t transientFaults = 0;
+    /** Packets purged because no surviving path to their destination
+     *  exists (in-network purge or NIC admission gate). */
+    std::uint64_t packetsUnroutable = 0;
+    /** Packets whose route fell back to the degraded minimal tables. */
+    std::uint64_t packetsRerouted = 0;
+    /** Packets retired because they touched a dead router. */
+    std::uint64_t packetsLostToFaults = 0;
+    /** Flits discarded at or inside dead routers. */
+    std::uint64_t flitsLostToFaults = 0;
+    /** Ejected packets carrying a corruption mark. */
+    std::uint64_t packetsCorrupted = 0;
+    /** Ejected packets discarded by the destination NIC (drop fault). */
+    std::uint64_t packetsDroppedAtNic = 0;
+    /// @}
+
     /** Start of the current measurement window. */
     Cycle windowStart = 0;
 

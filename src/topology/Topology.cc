@@ -55,6 +55,19 @@ Topology::attachNic(NodeId node, RouterId router, PortId port)
 void
 Topology::finalize()
 {
+    finalizeImpl(true);
+}
+
+void
+Topology::finalizePartial()
+{
+    finalizeImpl(false);
+    partial_ = true;
+}
+
+void
+Topology::finalizeImpl(bool strict)
+{
     SPIN_ASSERT(!finalized_, "finalize() called twice");
     const int n = numRouters();
 
@@ -119,7 +132,7 @@ Topology::finalize()
             }
         }
         for (int t = 0; t < n; ++t) {
-            if (dist[t] < 0) {
+            if (strict && dist[t] < 0) {
                 SPIN_FATAL("router graph not strongly connected: no path ",
                            s, " -> ", t);
             }

@@ -122,11 +122,20 @@ class Topology
      * @throws FatalError if the router graph is not strongly connected.
      */
     void finalize();
+    /**
+     * finalize() minus the strong-connectivity requirement, for
+     * degraded (fault-injected) topologies: unreachable pairs get
+     * distance() == -1 and empty minimalPorts(). partial() reports
+     * which variant built the tables.
+     */
+    void finalizePartial();
     /// @}
 
     /// @name Structure queries (after finalize)
     /// @{
     int numRouters() const { return static_cast<int>(radix_.size()); }
+    /** True when built by finalizePartial() (may be disconnected). */
+    bool partial() const { return partial_; }
     int numNodes() const { return static_cast<int>(nics_.size()); }
     int radix(RouterId r) const { return radix_[r]; }
     const std::vector<LinkSpec> &links() const { return links_; }
@@ -181,7 +190,9 @@ class Topology
     std::vector<std::vector<std::vector<PortId>>> minPorts_;
 
     bool finalized_ = false;
+    bool partial_ = false;
 
+    void finalizeImpl(bool strict);
     void checkFinalized() const;
 };
 

@@ -28,11 +28,47 @@ DIGEST_FIELDS = ("latency", "throughput", "flitsEjected", "spins")
 
 
 def load(path):
+    """Read and parse one record, exiting 2 with a clear message on any
+    IO or JSON problem (a missing baseline is a setup error, not a
+    digest mismatch)."""
     try:
         with open(path) as f:
-            return json.load(f)
-    except (OSError, ValueError) as e:
-        sys.exit(f"check_sweep_baseline: cannot read {path}: {e}")
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_sweep_baseline: cannot read {path}: {e}",
+              file=sys.stderr)
+        print("Generate the baseline with "
+              "'spin_sweep --bench --json <path>' (see EXPERIMENTS.md).",
+              file=sys.stderr)
+        sys.exit(2)
+    except ValueError as e:
+        print(f"check_sweep_baseline: {path} is not valid JSON: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"check_sweep_baseline: {path} holds a JSON "
+              f"{type(doc).__name__}, want a spin-sweep-bench/v1 object",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def digest_cells(rec, name):
+    """Index a record's digest by cell id, exiting 2 on schema drift."""
+    digest = rec.get("digest")
+    if not isinstance(digest, list):
+        print(f"check_sweep_baseline: {name}: 'digest' must be an "
+              f"array, got {type(digest).__name__}", file=sys.stderr)
+        sys.exit(2)
+    cells = {}
+    for i, c in enumerate(digest):
+        if not isinstance(c, dict) or "cell" not in c:
+            print(f"check_sweep_baseline: {name}: digest[{i}] has no "
+                  "'cell' key; the record does not match the "
+                  "spin-sweep-bench/v1 schema", file=sys.stderr)
+            sys.exit(2)
+        cells[c["cell"]] = c
+    return cells
 
 
 def close(a, b, rtol):
@@ -64,22 +100,22 @@ def main():
     base = load(args.baseline)
     cand = load(args.candidate)
 
-    errors = []
     for rec, name in ((base, args.baseline), (cand, args.candidate)):
         if rec.get("schema") != "spin-sweep-bench/v1":
-            errors.append(f"{name}: schema is {rec.get('schema')!r}, "
-                          "want 'spin-sweep-bench/v1'")
-    if errors:
-        print("\n".join(errors))
-        return 1
+            print(f"check_sweep_baseline: {name}: schema is "
+                  f"{rec.get('schema')!r}, want 'spin-sweep-bench/v1'",
+                  file=sys.stderr)
+            return 2
+
+    errors = []
 
     if base.get("spec") != cand.get("spec"):
         errors.append(f"spec mismatch: baseline ran "
                       f"{base.get('spec')!r}, candidate "
                       f"{cand.get('spec')!r}")
 
-    bcells = {c["cell"]: c for c in base.get("digest", [])}
-    ccells = {c["cell"]: c for c in cand.get("digest", [])}
+    bcells = digest_cells(base, args.baseline)
+    ccells = digest_cells(cand, args.candidate)
     for missing in sorted(bcells.keys() - ccells.keys()):
         errors.append(f"cell missing from candidate: {missing}")
     for extra in sorted(ccells.keys() - bcells.keys()):

@@ -26,6 +26,7 @@
 
 #include "analysis/CdgAnalyzer.hh"
 #include "common/Logging.hh"
+#include "fault/FaultSchedule.hh"
 #include "network/NetworkBuilder.hh"
 #include "topology/Dragonfly.hh"
 #include "topology/Mesh.hh"
@@ -53,6 +54,8 @@ const char *kUsage =
     "  --vnets N         virtual networks (default 1; vnets never share\n"
     "                    VCs, so vnet 0 decides)\n"
     "  --max-states N    reachability budget (default 2^24)\n"
+    "  --faults PATH     verify the topology degraded by a\n"
+    "                    spin-faults/v1 spec (single config only)\n"
     "  --json PATH       write the report (or sweep table) as JSON\n"
     "  --dot PATH        write the CDG as Graphviz DOT (single config)\n"
     "  --dot-dir DIR     sweep: write DOT per cyclic/violating row\n"
@@ -71,6 +74,7 @@ struct Options
     int vcs = 0; // 0 = routing's declared minimum
     int vnets = 1;
     std::uint64_t maxStates = 1ull << 24;
+    std::string faultsPath;
     std::string jsonPath;
     std::string dotPath;
     std::string dotDir;
@@ -122,6 +126,10 @@ parseArgs(int argc, char **argv, Options &o)
             if (!(v = value(i)))
                 return false;
             o.maxStates = std::strtoull(v, nullptr, 10);
+        } else if (!std::strcmp(a, "--faults")) {
+            if (!(v = value(i)))
+                return false;
+            o.faultsPath = v;
         } else if (!std::strcmp(a, "--json")) {
             if (!(v = value(i)))
                 return false;
@@ -238,7 +246,18 @@ runOne(const Options &o, const std::string &topoSpec,
     cfg.scheme = schemeOf(schemeName);
     if (cfg.scheme == DeadlockScheme::StaticBubble)
         cfg.vcsPerVnet += 1; // the reserved VC rides on top
-    auto net = buildNetwork(makeTopology(topoSpec), cfg, kind);
+    std::shared_ptr<const Topology> topo = makeTopology(topoSpec);
+    if (!o.faultsPath.empty()) {
+        fault::FaultSchedule fs;
+        std::string err;
+        if (!fault::FaultSchedule::fromFile(o.faultsPath, fs, err))
+            SPIN_FATAL(err);
+        const std::string verr = fs.validate(*topo);
+        if (!verr.empty())
+            SPIN_FATAL("fault spec ", o.faultsPath, ": ", verr);
+        topo = fault::degradedTopology(*topo, fs.concretize(*topo));
+    }
+    auto net = buildNetwork(std::move(topo), cfg, kind);
     CdgAnalyzer analyzer(*net);
     AnalysisReport rep = analyzer.analyze(0, o.maxStates);
     if (dot)
@@ -395,6 +414,11 @@ main(int argc, char **argv)
     Options o;
     if (!parseArgs(argc, argv, o))
         return 2;
+    if (o.sweep && !o.faultsPath.empty()) {
+        std::fprintf(stderr, "--faults applies to a single "
+                             "configuration, not --sweep\n");
+        return 2;
+    }
     try {
         return o.sweep ? runSweep(o) : runSingle(o);
     } catch (const FatalError &e) {

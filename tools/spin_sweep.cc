@@ -23,6 +23,7 @@
 #include "exp/Campaign.hh"
 #include "exp/Report.hh"
 #include "exp/SweepSpec.hh"
+#include "fault/FaultSchedule.hh"
 
 using namespace spin;
 using namespace spin::exp;
@@ -48,6 +49,8 @@ usage()
            "  --warmup N         override the spec's warmup window\n"
            "  --measure N        override the spec's measure window\n"
            "  --fast             quarter-scale warmup/measure\n"
+           "  --faults PATH      inject a spin-faults/v1 schedule into\n"
+           "                     every cell (docs/FAULTS.md)\n"
            "  --progress         per-cell progress on stderr\n"
            "  --cells            print the cell expansion and exit\n"
            "  --list             list built-in specs and presets\n"
@@ -112,7 +115,7 @@ benchRecord(const SweepSpec &spec, const obs::JsonValue &results,
 int
 main(int argc, char **argv)
 {
-    std::string specArg, outDir, jsonPath, benchJsonPath;
+    std::string specArg, outDir, jsonPath, benchJsonPath, faultsPath;
     std::uint64_t jobs = 1, warmup = 0, measure = 0;
     bool warmupSet = false, measureSet = false;
     bool fast = false, resume = false, progress = false;
@@ -130,6 +133,7 @@ main(int argc, char **argv)
         argU64("--warmup", &warmup, &warmupSet),
         argU64("--measure", &measure, &measureSet),
         argFlag("--fast", &fast),
+        argStr("--faults", &faultsPath),
         argFlag("--progress", &progress),
         argFlag("--cells", &printCells),
         argFlag("--list", &list),
@@ -184,6 +188,12 @@ main(int argc, char **argv)
     copt.jobs = static_cast<int>(jobs);
     copt.resume = resume;
     copt.progress = progress;
+    if (!faultsPath.empty() &&
+        !fault::FaultSchedule::fromFile(faultsPath, copt.faultSchedule,
+                                        err)) {
+        std::fprintf(stderr, "spin_sweep: %s\n", err.c_str());
+        return 2;
+    }
     if (!noCells)
         copt.cellDir = outDir.empty() ? "sweep-out/" + spec.name : outDir;
     if (jsonPath.empty() && !copt.cellDir.empty())
