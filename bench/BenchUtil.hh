@@ -24,7 +24,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -32,9 +34,12 @@
 
 #include "common/Logging.hh"
 #include "exp/ArgParse.hh"
+#include "exp/Report.hh"
 #include "fault/FaultSchedule.hh"
 #include "network/NetworkBuilder.hh"
 #include "obs/Json.hh"
+#include "obs/Metrics.hh"
+#include "obs/Profiler.hh"
 #include "obs/Tracer.hh"
 #include "traffic/SyntheticInjector.hh"
 
@@ -52,6 +57,9 @@ struct Options
     std::string jsonPath;
     std::string tracePath;
     std::string faultsPath;
+    std::string metricsPath;
+    Cycle metricsInterval = 256;
+    bool profile = false;
 
     static const char *
     usage()
@@ -66,6 +74,11 @@ struct Options
                "network\n"
                "  --faults PATH  inject faults from a spin-faults/v1 "
                "spec\n"
+               "  --metrics PATH spin-metrics/v1 JSONL of every "
+               "simulated network\n"
+               "  --metrics-interval N  metrics window in cycles "
+               "(default 256)\n"
+               "  --profile      per-phase wall-clock attribution\n"
                "  --help         this message\n";
     }
 
@@ -85,6 +98,9 @@ struct Options
             exp::argStr("--json", &o.jsonPath),
             exp::argStr("--trace", &o.tracePath),
             exp::argStr("--faults", &o.faultsPath),
+            exp::argStr("--metrics", &o.metricsPath),
+            exp::argU64("--metrics-interval", &o.metricsInterval),
+            exp::argFlag("--profile", &o.profile),
             exp::argFlag("--fast", &o.fast),
         };
         if (!exp::parseArgs(argc, argv, specs, err))
@@ -125,6 +141,55 @@ struct Options
             p.cfg.seed = seed;
     }
 };
+
+/**
+ * Shared append stream for --metrics: a bench simulates many networks
+ * (one per sweep point) that all publish into one JSONL file, so the
+ * stream is opened once per path and every network gets a borrowing
+ * StreamMetricsSink. Returns nullptr (after complaining once) when the
+ * path cannot be opened. Benches are single-threaded by construction.
+ */
+inline std::ostream *
+sharedMetricsStream(const std::string &path)
+{
+    static std::map<std::string, std::unique_ptr<std::ofstream>> streams;
+    auto it = streams.find(path);
+    if (it == streams.end()) {
+        auto os = std::make_unique<std::ofstream>(path);
+        if (!*os) {
+            std::fprintf(stderr, "cannot open metrics file %s\n",
+                         path.c_str());
+            os.reset();
+        }
+        it = streams.emplace(path, std::move(os)).first;
+    }
+    return it->second ? it->second.get() : nullptr;
+}
+
+/** Enable --metrics publication on a freshly built network. @p label
+ *  tags every record ("cell" field), e.g. "mesh-spin|uniform|0.42". */
+inline void
+attachMetrics(Network &net, const Options &opt, const std::string &label)
+{
+    if (opt.metricsPath.empty())
+        return;
+    std::ostream *os = sharedMetricsStream(opt.metricsPath);
+    if (!os)
+        return;
+    obs::MetricsConfig mcfg;
+    mcfg.interval = opt.metricsInterval > 0 ? opt.metricsInterval : 256;
+    mcfg.label = label;
+    net.enableMetrics(mcfg, std::make_unique<obs::StreamMetricsSink>(*os));
+}
+
+/** Process-wide phase-profile accumulator for --profile: every network
+ *  a bench simulates merges its totals here before destruction. */
+inline obs::PhaseProfiler &
+profileTotals()
+{
+    static obs::PhaseProfiler totals;
+    return totals;
+}
 
 /** One point of a latency/throughput sweep. */
 struct SweepPoint
@@ -171,6 +236,15 @@ sweep(const ConfigPreset &preset,
         auto net = preset.build(topo);
         if (instrument)
             instrument(*net);
+        {
+            char lbl[192];
+            std::snprintf(lbl, sizeof(lbl), "%s|%s|%.3f",
+                          preset.name.c_str(),
+                          toString(pattern).c_str(), rate);
+            attachMetrics(*net, opt, lbl);
+        }
+        if (opt.profile)
+            net->enableProfiler();
         if (!opt.faultsPath.empty()) {
             fault::FaultSchedule fs;
             std::string ferr;
@@ -192,6 +266,8 @@ sweep(const ConfigPreset &preset,
             inj.tick();
             net->step();
         }
+        if (opt.profile)
+            profileTotals().merge(*net->profiler());
         SweepPoint p;
         p.rate = rate;
         p.latency = net->stats().avgLatency();
@@ -343,10 +419,16 @@ class BenchReporter
 
     obs::JsonValue &root() { return root_; }
 
-    /** Write to opt.jsonPath when --json was given. True on success. */
+    /** Print/export the --profile summary and write to opt.jsonPath
+     *  when --json was given. True on success. */
     bool
-    writeIfRequested(const Options &opt) const
+    writeIfRequested(const Options &opt)
     {
+        if (opt.profile) {
+            const obs::JsonValue prof = profileTotals().toJson();
+            exp::printPhaseProfile(prof);
+            root_.set("profile", prof);
+        }
         if (opt.jsonPath.empty())
             return true;
         std::FILE *f = std::fopen(opt.jsonPath.c_str(), "w");

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/Logging.hh"
 #include "exp/ArgParse.hh"
 #include "exp/Campaign.hh"
@@ -57,6 +59,14 @@ campaignUsage()
            "  --no-cells      do not write per-cell files\n"
            "  --resume        reuse finished cells from --out\n"
            "  --json PATH     write the aggregated results JSON\n"
+           "  --metrics PATH  combined spin-metrics/v1 JSONL of every\n"
+           "                  simulated cell (one file per spec; with\n"
+           "                  several specs the spec name is appended)\n"
+           "  --metrics-interval N  metrics window in cycles (default\n"
+           "                  256)\n"
+           "  --profile       per-phase wall-clock attribution\n"
+           "  --live          single-line progress meter on stderr\n"
+           "                  (auto when stderr is a TTY)\n"
            "  --progress      per-cell progress on stderr\n"
            "  --help          this message\n";
 }
@@ -76,10 +86,12 @@ runCampaignMain(const char *banner,
                 CampaignReport report, int argc, char **argv)
 {
     std::uint64_t jobs = 1, warmup = 0, measure = 0, seed = 0;
+    std::uint64_t metricsInterval = 256;
     bool warmupSet = false, measureSet = false, seedSet = false;
-    bool fast = false, resume = false, progress = false;
+    bool fast = false, resume = false, progress = false, live = false;
+    bool profile = false;
     bool noCells = false, help = false;
-    std::string outDir, jsonPath, faultsPath;
+    std::string outDir, jsonPath, faultsPath, metricsPath;
 
     const std::vector<exp::ArgSpec> specs = {
         exp::argU64("-j", &jobs),
@@ -93,6 +105,10 @@ runCampaignMain(const char *banner,
         exp::argFlag("--no-cells", &noCells),
         exp::argFlag("--resume", &resume),
         exp::argStr("--json", &jsonPath),
+        exp::argStr("--metrics", &metricsPath),
+        exp::argU64("--metrics-interval", &metricsInterval),
+        exp::argFlag("--profile", &profile),
+        exp::argFlag("--live", &live),
         exp::argFlag("--progress", &progress),
         exp::argFlag("--help", &help),
         exp::argFlag("-h", &help),
@@ -141,7 +157,15 @@ runCampaignMain(const char *banner,
         copt.jobs = static_cast<int>(jobs);
         copt.resume = resume;
         copt.progress = progress;
+        copt.live = live || (!progress && isatty(fileno(stderr)) != 0);
+        copt.profile = profile;
         copt.faultSchedule = faultSchedule;
+        if (!metricsPath.empty()) {
+            copt.metricsPath = specNames.size() == 1
+                                   ? metricsPath
+                                   : metricsPath + "." + spec.name;
+            copt.metricsInterval = metricsInterval;
+        }
         if (!noCells) {
             copt.cellDir = outDir.empty() ? "sweep-out/" + spec.name
                            : specNames.size() == 1
@@ -182,6 +206,10 @@ runCampaignMain(const char *banner,
                     spec.name.c_str(), perf.cells, perf.cellsSimulated,
                     perf.cellsCached, perf.wallSeconds,
                     perf.cellsPerSec());
+        if (profile)
+            exp::printPhaseProfile(campaign.profile().toJson());
+        if (!copt.metricsPath.empty())
+            std::printf("wrote %s\n", copt.metricsPath.c_str());
 
         if (specNames.size() == 1)
             single = std::move(results);

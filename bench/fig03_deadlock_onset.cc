@@ -37,6 +37,14 @@ deadlocks(const std::shared_ptr<const Topology> &topo, RoutingKind kind,
     if (opt.seedSet)
         cfg.seed = opt.seed;
     auto net = buildNetwork(topo, cfg, kind);
+    {
+        char lbl[96];
+        std::snprintf(lbl, sizeof(lbl), "onset|%s|%.2f",
+                      toString(pattern).c_str(), rate);
+        attachMetrics(*net, opt, lbl);
+    }
+    if (opt.profile)
+        net->enableProfiler();
 
     InjectorConfig icfg;
     icfg.injectionRate = rate;
@@ -44,13 +52,18 @@ deadlocks(const std::shared_ptr<const Topology> &topo, RoutingKind kind,
     SyntheticInjector inj(*net, pattern, icfg);
     OracleDetector oracle(*net);
 
-    for (Cycle i = 0; i < cycles; ++i) {
+    bool hit = false;
+    for (Cycle i = 0; i < cycles && !hit; ++i) {
         inj.tick();
         net->step();
         if (i % 250 == 0 && oracle.detect().deadlocked)
-            return true;
+            hit = true;
     }
-    return oracle.detect().deadlocked;
+    if (!hit)
+        hit = oracle.detect().deadlocked;
+    if (opt.profile)
+        profileTotals().merge(*net->profiler());
+    return hit;
 }
 
 obs::JsonValue

@@ -19,12 +19,18 @@ namespace
 {
 
 void
-BM_MeshStep(benchmark::State &state)
+meshStep(benchmark::State &state, bool metrics)
 {
     const double rate = state.range(0) / 100.0;
     auto topo = std::make_shared<Topology>(makeMesh(8, 8));
     const ConfigPreset preset = meshPresets3Vc()[3]; // MinAdaptive+SPIN
     auto net = preset.build(topo);
+    if (metrics) {
+        // Null sink: measures the engine (window snapshots + per-cycle
+        // tick), not serialization I/O.
+        net->enableMetrics(obs::MetricsConfig{},
+                           std::make_unique<obs::NullMetricsSink>());
+    }
     InjectorConfig icfg;
     icfg.injectionRate = rate;
     SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
@@ -40,7 +46,23 @@ BM_MeshStep(benchmark::State &state)
         benchmark::Counter(static_cast<double>(state.iterations()),
                            benchmark::Counter::kIsRate);
 }
+
+void
+BM_MeshStep(benchmark::State &state)
+{
+    meshStep(state, false);
+}
 BENCHMARK(BM_MeshStep)->Arg(1)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+
+/** Same workload with windowed metrics enabled; tools/check_micro_delta.py
+ *  gates the off/on gap in CI. */
+void
+BM_MeshStepMetrics(benchmark::State &state)
+{
+    meshStep(state, true);
+}
+BENCHMARK(BM_MeshStepMetrics)->Arg(1)->Arg(20)->Arg(40)
     ->Unit(benchmark::kMicrosecond);
 
 void

@@ -51,6 +51,9 @@ class SpinManager
     /** Schedule @p send to contend for its link at cycle @p when. */
     void scheduleSend(Cycle when, SmSend send);
 
+    /** Special messages currently traversing links (metrics gauge). */
+    int smsInFlight() const { return smsInFlight_; }
+
     /// @name Parameters
     /// @{
     Cycle tDd() const { return tDd_; }

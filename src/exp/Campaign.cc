@@ -9,10 +9,13 @@
 #include <sstream>
 #include <thread>
 
+#include <cmath>
+
 #include "common/Logging.hh"
 #include "fault/FaultInjector.hh"
 #include "fault/FaultSchedule.hh"
 #include "network/Network.hh"
+#include "obs/Metrics.hh"
 #include "traffic/SyntheticInjector.hh"
 
 namespace spin::exp
@@ -75,7 +78,8 @@ Campaign::Campaign(SweepSpec spec, CampaignOptions opt)
 obs::JsonValue
 Campaign::runCell(const SweepSpec &spec, const Cell &cell,
                   const std::shared_ptr<const Topology> &topo,
-                  const fault::FaultSchedule *extra_faults)
+                  const fault::FaultSchedule *extra_faults,
+                  const CellCapture &capture)
 {
     const ConfigPreset *reg = findPreset(cell.preset);
     SPIN_ASSERT(reg, "cell references unknown preset ", cell.preset);
@@ -103,6 +107,19 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
     if (!faults.empty())
         net->attachFaults(std::move(faults));
 
+    obs::MemoryMetricsSink *msink = nullptr;
+    if (capture.metricsOut) {
+        auto sink = std::make_unique<obs::MemoryMetricsSink>();
+        msink = sink.get();
+        obs::MetricsConfig mcfg;
+        mcfg.interval =
+            capture.metricsInterval > 0 ? capture.metricsInterval : 256;
+        mcfg.label = cell.id;
+        net->enableMetrics(mcfg, std::move(sink));
+    }
+    if (capture.profileOut)
+        net->enableProfiler();
+
     for (Cycle i = 0; i < spec.warmup; ++i) {
         inj.tick();
         net->step();
@@ -112,6 +129,13 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
         inj.tick();
         net->step();
     }
+
+    if (msink) {
+        net->metrics()->finish(net->now());
+        *capture.metricsOut = msink->lines();
+    }
+    if (capture.profileOut)
+        capture.profileOut->merge(*net->profiler());
 
     const double latency = net->stats().avgLatency();
     const double throughput =
@@ -238,12 +262,23 @@ Campaign::run()
         pending.push_back(cell.index);
     }
 
+    // Per-cell metrics buffers, indexed by expansion order. Workers
+    // write disjoint slots; the combined file is assembled after the
+    // join so it is bit-identical for any -j.
+    const bool wantMetrics = !opt_.metricsPath.empty();
+    std::vector<std::vector<std::string>> metricsLines(
+        wantMetrics ? cells.size() : 0);
+
+    profile_ = obs::PhaseProfiler{};
+
     std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> cycles{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<int> busy{0};
     std::mutex errMutex;
     std::string firstError;
     std::mutex logMutex;
+    std::mutex profMutex;
 
     const auto worker = [&]() {
         for (;;) {
@@ -251,8 +286,22 @@ Campaign::run()
             if (slot >= pending.size())
                 return;
             const Cell &cell = cells[pending[slot]];
+            busy.fetch_add(1);
             try {
-                obs::JsonValue r = runCell(spec_, cell, topo, extraFaults);
+                CellCapture capture;
+                if (wantMetrics) {
+                    capture.metricsInterval = opt_.metricsInterval;
+                    capture.metricsOut = &metricsLines[cell.index];
+                }
+                obs::PhaseProfiler cellProfile;
+                if (opt_.profile)
+                    capture.profileOut = &cellProfile;
+                obs::JsonValue r =
+                    runCell(spec_, cell, topo, extraFaults, capture);
+                if (opt_.profile) {
+                    std::lock_guard<std::mutex> lock(profMutex);
+                    profile_.merge(cellProfile);
+                }
                 r.set("specFingerprint", obs::JsonValue(fingerprint));
                 if (!opt_.cellDir.empty() && !storeCell(cell, r)) {
                     std::lock_guard<std::mutex> lock(errMutex);
@@ -263,12 +312,14 @@ Campaign::run()
                 results[cell.index] = std::move(r);
                 cycles.fetch_add(spec_.warmup + spec_.measure);
                 const std::size_t n = done.fetch_add(1) + 1;
+                busy.fetch_sub(1);
                 if (opt_.progress) {
                     std::lock_guard<std::mutex> lock(logMutex);
                     std::fprintf(stderr, "[%zu/%zu] %s\n", n,
                                  pending.size(), cell.id.c_str());
                 }
             } catch (const std::exception &e) {
+                busy.fetch_sub(1);
                 std::lock_guard<std::mutex> lock(errMutex);
                 if (firstError.empty())
                     firstError = "cell " + cell.id + ": " + e.what();
@@ -280,6 +331,49 @@ Campaign::run()
     const int jobs = static_cast<int>(
         std::min<std::size_t>(opt_.jobs, std::max<std::size_t>(
                                              pending.size(), 1)));
+
+    // Live progress meter: one stderr line redrawn in place, fed only
+    // by the atomics above, torn down before any result is used --
+    // it can never affect the deterministic documents.
+    std::atomic<bool> meterRun{opt_.live && !pending.empty()};
+    std::thread meter;
+    if (meterRun.load()) {
+        meter = std::thread([&, jobs]() {
+            const auto start = std::chrono::steady_clock::now();
+            while (meterRun.load()) {
+                const std::size_t d = done.load();
+                const double secs =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                const double rate = secs > 0 ? d / secs : 0.0;
+                char eta[32];
+                if (d == 0 || rate <= 0) {
+                    std::snprintf(eta, sizeof(eta), "--:--");
+                } else {
+                    const long left = std::lround(
+                        double(pending.size() - d) / rate);
+                    std::snprintf(eta, sizeof(eta), "%02ld:%02ld",
+                                  left / 60, left % 60);
+                }
+                {
+                    std::lock_guard<std::mutex> lock(logMutex);
+                    std::fprintf(stderr,
+                                 "\r[%zu/%zu cells] %.1f cells/s | "
+                                 "ETA %s | workers %d/%d busy   ",
+                                 d, pending.size(), rate, eta,
+                                 busy.load(), jobs);
+                    std::fflush(stderr);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+            }
+            std::lock_guard<std::mutex> lock(logMutex);
+            std::fprintf(stderr, "\r%78s\r", "");
+            std::fflush(stderr);
+        });
+    }
+
     if (jobs <= 1) {
         worker();
     } else {
@@ -290,11 +384,32 @@ Campaign::run()
         for (std::thread &t : pool)
             t.join();
     }
+    meterRun.store(false);
+    if (meter.joinable())
+        meter.join();
     if (!firstError.empty())
         SPIN_FATAL("campaign '", spec_.name, "' failed: ", firstError);
 
     perf_.cellsSimulated = pending.size();
     perf_.cyclesSimulated = cycles.load();
+
+    // Combined metrics stream, cells concatenated in expansion order.
+    if (wantMetrics) {
+        const std::filesystem::path mpath(opt_.metricsPath);
+        if (mpath.has_parent_path()) {
+            std::error_code ec;
+            std::filesystem::create_directories(mpath.parent_path(), ec);
+        }
+        std::ofstream os(opt_.metricsPath);
+        if (!os)
+            SPIN_FATAL("cannot write metrics file ", opt_.metricsPath);
+        for (const Cell &cell : cells) {
+            for (const std::string &line : metricsLines[cell.index])
+                os << line << '\n';
+        }
+        if (!os)
+            SPIN_FATAL("error writing metrics file ", opt_.metricsPath);
+    }
 
     // ------------------------------------------------------------------
     // Deterministic aggregation: expansion order only, no wall clock.

@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "exp/SweepSpec.hh"
 #include "fault/FaultSchedule.hh"
 #include "obs/Json.hh"
+#include "obs/Profiler.hh"
 
 namespace spin::exp
 {
@@ -50,6 +52,26 @@ struct CampaignOptions
      * aggregate stays bit-identical for any -j.
      */
     fault::FaultSchedule faultSchedule;
+    /**
+     * Combined spin-metrics/v1 JSONL path; empty disables per-cell
+     * metrics. Every simulated cell captures its windowed metrics into
+     * a memory buffer (records tagged with the cell id); after the
+     * workers join, the buffers are concatenated in expansion order, so
+     * the file is bit-identical for any -j. Cells reloaded from the
+     * resume cache contribute no records.
+     */
+    std::string metricsPath;
+    /** Metrics window length in cycles. */
+    Cycle metricsInterval = 256;
+    /**
+     * Single-line live progress meter on stderr (cells done/total,
+     * cells/sec, ETA, worker utilization), redrawn a few times per
+     * second. Meant for TTYs; `progress` is the log-friendly variant.
+     */
+    bool live = false;
+    /** Attribute wall-clock time to step() phases in every simulated
+     *  cell; totals aggregate into Campaign::profile(). */
+    bool profile = false;
 };
 
 /** Wall-clock accounting of one run() (not part of the results). */
@@ -75,6 +97,18 @@ struct CampaignPerf
     obs::JsonValue toJson() const;
 };
 
+/** Optional per-cell instrumentation for Campaign::runCell. */
+struct CellCapture
+{
+    /** Metrics window length; used when metricsOut is set. */
+    Cycle metricsInterval = 256;
+    /** When non-null, receives the cell's spin-metrics/v1 lines. */
+    std::vector<std::string> *metricsOut = nullptr;
+    /** When non-null, the cell runs profiled and its phase totals are
+     *  merged in. */
+    obs::PhaseProfiler *profileOut = nullptr;
+};
+
 /** See file comment. */
 class Campaign
 {
@@ -92,18 +126,24 @@ class Campaign
     /** Wall-clock accounting of the last run(). */
     const CampaignPerf &perf() const { return perf_; }
 
+    /** Aggregated phase profile of the last run() (profile option;
+     *  zero cycles when it was off). Not part of the results. */
+    const obs::PhaseProfiler &profile() const { return profile_; }
+
     /** Simulate one cell in isolation (used by run() and the tests).
      *  @p extra_faults, when non-null, is attached on top of the cell's
      *  own fault dimension. */
     static obs::JsonValue
     runCell(const SweepSpec &spec, const Cell &cell,
             const std::shared_ptr<const Topology> &topo,
-            const fault::FaultSchedule *extra_faults = nullptr);
+            const fault::FaultSchedule *extra_faults = nullptr,
+            const CellCapture &capture = {});
 
   private:
     SweepSpec spec_;
     CampaignOptions opt_;
     CampaignPerf perf_;
+    obs::PhaseProfiler profile_;
 
     std::string cellPath(const Cell &cell) const;
     /** Load a cached cell result; Null when absent or invalid. */

@@ -1,7 +1,10 @@
 #include "exp/Report.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 namespace spin::exp
 {
@@ -106,6 +109,33 @@ writeJsonFile(const std::string &path, const obs::JsonValue &doc)
     }
     os << doc.dump(2) << '\n';
     return static_cast<bool>(os);
+}
+
+void
+printPhaseProfile(const obs::JsonValue &profile)
+{
+    const obs::JsonValue &phases = profile["phases"];
+    const double total = profile["totalNs"].asNumber();
+    const double cycles = profile["cycles"].asNumber();
+    std::printf("== phase profile: %.0f cycles, %.1f ms wall, "
+                "%.0f ns/cycle ==\n",
+                cycles, total / 1e6,
+                profile["nsPerCycle"].asNumber());
+    // Share-sorted rows; ties keep the phase-enum order.
+    std::vector<std::pair<double, std::string>> rows;
+    for (const auto &kv : phases.members())
+        rows.emplace_back(kv.second["ns"].asNumber(), kv.first);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    for (const auto &[ns, name] : rows) {
+        if (ns <= 0)
+            continue;
+        std::printf("  %-12s %10.1f ms  %5.1f%%\n", name.c_str(),
+                    ns / 1e6, total > 0 ? 100.0 * ns / total : 0.0);
+    }
+    std::printf("\n");
 }
 
 } // namespace spin::exp

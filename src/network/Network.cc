@@ -8,6 +8,8 @@
 #include "fault/FaultInjector.hh"
 #include "obs/Forensics.hh"
 #include "obs/Json.hh"
+#include "obs/Metrics.hh"
+#include "obs/Profiler.hh"
 #include "obs/Tracer.hh"
 #include "routing/RoutingAlgorithm.hh"
 
@@ -86,39 +88,56 @@ void
 Network::step()
 {
     const Cycle now = clock_.now();
+    obs::PhaseProfiler *const prof = profiler_.get();
 
     // 0. Fault events due this cycle fire before anything moves, so a
     // failed component never accepts new work in the same cycle.
-    if (faults_)
+    if (faults_) {
+        obs::PhaseScope ps(prof, obs::Phase::Faults);
         faults_->tick(now);
+    }
 
     // 1. Wire arrivals.
-    for (Link &l : links_) {
-        l.drainFlitsInto(now, [&](LinkFlit &lf) {
-            routers_[l.spec().dst]->receiveFlit(l.spec().dstPort, lf.vc,
-                                                std::move(lf.flit));
-        });
-        l.drainCreditsInto(now, [&](const CreditMsg &c) {
-            routers_[l.spec().src]->receiveCredit(l.spec().srcPort, c.vc,
-                                                  c.isFree);
-        });
+    {
+        obs::PhaseScope ps(prof, obs::Phase::Wires);
+        for (Link &l : links_) {
+            l.drainFlitsInto(now, [&](LinkFlit &lf) {
+                routers_[l.spec().dst]->receiveFlit(l.spec().dstPort,
+                                                    lf.vc,
+                                                    std::move(lf.flit));
+            });
+            l.drainCreditsInto(now, [&](const CreditMsg &c) {
+                routers_[l.spec().src]->receiveCredit(l.spec().srcPort,
+                                                      c.vc, c.isFree);
+            });
+        }
+        for (auto &np : nics_)
+            np->drainWires(now);
     }
-    for (auto &np : nics_)
-        np->drainWires(now);
 
     // 2-3. SPIN phases.
     if (spinMgr_) {
-        spinMgr_->smPhase(now);
+        {
+            obs::PhaseScope ps(prof, obs::Phase::SpecialMsg);
+            spinMgr_->smPhase(now);
+        }
+        obs::PhaseScope ps(prof, obs::Phase::Rotation);
         spinMgr_->spinPhase(now);
     }
 
     // 4. Static Bubble recovery.
-    for (auto &bp : bubbles_)
-        bp->tick(now);
+    if (!bubbles_.empty()) {
+        obs::PhaseScope ps(prof, obs::Phase::Bubble);
+        for (auto &bp : bubbles_)
+            bp->tick(now);
+    }
 
     // 5. Injection.
-    for (auto &np : nics_)
-        np->injectStep(now);
+    {
+        obs::PhaseScope ps(prof, obs::Phase::Injection);
+        for (auto &np : nics_)
+            np->injectStep(now);
+    }
 
     // 6-7. Route compute, VC allocation, switch allocation. A router
     // with no buffered flit provably does nothing in either phase
@@ -128,21 +147,37 @@ Network::step()
     // stays in router-ID order so adaptive-routing decisions that read
     // neighbor state are unchanged.
     const int nr = static_cast<int>(routers_.size());
-    for (RouterId r = 0; r < nr; ++r) {
-        if (routerLoad_[r] != 0)
-            routers_[r]->computeRoutes();
+    {
+        obs::PhaseScope ps(prof, obs::Phase::Routing);
+        for (RouterId r = 0; r < nr; ++r) {
+            if (routerLoad_[r] != 0)
+                routers_[r]->computeRoutes();
+        }
     }
-    for (RouterId r = 0; r < nr; ++r) {
-        if (routerLoad_[r] != 0)
-            routers_[r]->allocateSwitch();
+    {
+        obs::PhaseScope ps(prof, obs::Phase::SwitchAlloc);
+        for (RouterId r = 0; r < nr; ++r) {
+            if (routerLoad_[r] != 0)
+                routers_[r]->allocateSwitch();
+        }
     }
 
     // 8. SPIN timers.
-    if (spinMgr_)
+    if (spinMgr_) {
+        obs::PhaseScope ps(prof, obs::Phase::FsmTimers);
         spinMgr_->fsmTick(now);
+    }
 
-    if (samplers_)
-        samplers_->tick(now);
+    if (samplers_ || metrics_) {
+        obs::PhaseScope ps(prof, obs::Phase::Telemetry);
+        if (samplers_)
+            samplers_->tick(now);
+        if (metrics_)
+            metrics_->tick(now);
+    }
+
+    if (prof)
+        prof->onCycle();
 
     clock_.tick();
 }
@@ -241,6 +276,13 @@ Network::beginMeasurement()
     for (Link &l : links_)
         l.resetUses();
     usageWindowStart_ = clock_.now();
+    // Windowed series restart with the measurement window, mirroring
+    // the non-structural counter reset above (warmup samples would
+    // otherwise pollute every report built from them).
+    if (samplers_)
+        samplers_->reset(clock_.now());
+    if (metrics_)
+        metrics_->onMeasurementBegin(clock_.now());
 }
 
 LinkUsage
@@ -282,6 +324,25 @@ Network::enableForensics(std::size_t max_records)
     return *forensics_;
 }
 
+obs::NetworkMetrics &
+Network::enableMetrics(const obs::MetricsConfig &cfg,
+                       std::unique_ptr<obs::MetricsSink> sink)
+{
+    if (metrics_)
+        metrics_->finish(clock_.now());
+    metrics_ =
+        std::make_unique<obs::NetworkMetrics>(*this, cfg, std::move(sink));
+    return *metrics_;
+}
+
+obs::PhaseProfiler &
+Network::enableProfiler()
+{
+    if (!profiler_)
+        profiler_ = std::make_unique<obs::PhaseProfiler>();
+    return *profiler_;
+}
+
 obs::JsonValue
 Network::telemetryJson() const
 {
@@ -320,6 +381,16 @@ Network::telemetryJson() const
         root.set("forensics", forensics_->toJson());
     if (faults_)
         root.set("faults", faults_->toJson());
+    if (metrics_) {
+        obs::JsonValue m = obs::JsonValue::object();
+        m.set("interval", obs::JsonValue(metrics_->config().interval));
+        m.set("windows", obs::JsonValue(metrics_->windowsEmitted()));
+        root.set("metrics", std::move(m));
+    }
+    // Wall-clock attribution is machine-dependent; it rides alongside
+    // the deterministic sections and is never part of gated documents.
+    if (profiler_)
+        root.set("profile", profiler_->toJson());
     return root;
 }
 

@@ -44,6 +44,10 @@ namespace obs
 class Tracer;
 class Forensics;
 class JsonValue;
+class NetworkMetrics;
+struct MetricsConfig;
+class MetricsSink;
+class PhaseProfiler;
 } // namespace obs
 
 namespace fault
@@ -189,6 +193,20 @@ class Network
     /** Start capturing loop snapshots on probe return / oracle report. */
     obs::Forensics &enableForensics(std::size_t max_records = 64);
 
+    /** Active windowed-metrics publisher, nullptr until enableMetrics(). */
+    obs::NetworkMetrics *metrics() { return metrics_.get(); }
+    const obs::NetworkMetrics *metrics() const { return metrics_.get(); }
+    /** Start windowed metrics publication into @p sink; replaces any
+     *  previous publisher (the old one emits its finish record). */
+    obs::NetworkMetrics &enableMetrics(const obs::MetricsConfig &cfg,
+                                       std::unique_ptr<obs::MetricsSink> sink);
+
+    /** Active self-profiler, nullptr until enableProfiler(). */
+    obs::PhaseProfiler *profiler() { return profiler_.get(); }
+    const obs::PhaseProfiler *profiler() const { return profiler_.get(); }
+    /** Start attributing wall-clock time to step() phases. */
+    obs::PhaseProfiler &enableProfiler();
+
     /** Everything machine-readable in one document: config, cycle,
      *  stats, link usage, sampler series, forensic snapshots. */
     obs::JsonValue telemetryJson() const;
@@ -234,6 +252,10 @@ class Network
     std::unique_ptr<obs::NetworkSamplers> samplers_;
     std::unique_ptr<obs::Forensics> forensics_;
     std::unique_ptr<fault::FaultInjector> faults_;
+    /** Declared after the components its registry closures read, so it
+     *  is destroyed (emitting its finish record) while they are live. */
+    std::unique_ptr<obs::NetworkMetrics> metrics_;
+    std::unique_ptr<obs::PhaseProfiler> profiler_;
 
     std::function<void(const PacketPtr &)> ejectListener_;
     PacketId nextPacketId_ = 1;

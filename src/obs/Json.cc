@@ -13,8 +13,10 @@ namespace
 
 const JsonValue kNull;
 
+} // namespace
+
 void
-appendNumber(std::string &out, double d)
+JsonValue::appendNumber(std::string &out, double d)
 {
     if (std::isfinite(d) && d == std::floor(d) &&
         std::abs(d) < 9.007199254740992e15) {
@@ -30,8 +32,6 @@ appendNumber(std::string &out, double d)
         out += "null"; // JSON has no inf/nan
     }
 }
-
-} // namespace
 
 const JsonValue &
 JsonValue::operator[](const std::string &key) const

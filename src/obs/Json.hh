@@ -133,6 +133,13 @@ class JsonValue
     /** Escape @p s as the *inside* of a JSON string literal. */
     static std::string escape(const std::string &s);
 
+    /**
+     * Append @p d to @p out exactly as dump() renders a number
+     * (integral doubles without a decimal point). For hand-rolled
+     * serializers that must stay byte-identical with dump(0).
+     */
+    static void appendNumber(std::string &out, double d);
+
   private:
     explicit JsonValue(Type t) : type_(t) {}
 

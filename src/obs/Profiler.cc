@@ -1,0 +1,76 @@
+#include "obs/Profiler.hh"
+
+namespace spin::obs
+{
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Faults:
+        return "faults";
+      case Phase::Wires:
+        return "wires";
+      case Phase::SpecialMsg:
+        return "specialMsg";
+      case Phase::Rotation:
+        return "rotation";
+      case Phase::Bubble:
+        return "bubble";
+      case Phase::Injection:
+        return "injection";
+      case Phase::Routing:
+        return "routing";
+      case Phase::SwitchAlloc:
+        return "switchAlloc";
+      case Phase::FsmTimers:
+        return "fsmTimers";
+      case Phase::Telemetry:
+        return "telemetry";
+      case Phase::Count:
+        break;
+    }
+    return "unknown";
+}
+
+std::uint64_t
+PhaseProfiler::totalNs() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t ns : ns_)
+        total += ns;
+    return total;
+}
+
+void
+PhaseProfiler::merge(const PhaseProfiler &other)
+{
+    for (std::size_t i = 0; i < ns_.size(); ++i)
+        ns_[i] += other.ns_[i];
+    cycles_ += other.cycles_;
+}
+
+JsonValue
+PhaseProfiler::toJson() const
+{
+    const std::uint64_t total = totalNs();
+    JsonValue o = JsonValue::object();
+    o.set("schema", JsonValue("spin-profile/v1"));
+    o.set("cycles", JsonValue(cycles_));
+    o.set("totalNs", JsonValue(total));
+    o.set("nsPerCycle",
+          JsonValue(cycles_ ? double(total) / double(cycles_) : 0.0));
+    JsonValue phases = JsonValue::object();
+    for (std::size_t i = 0; i < ns_.size(); ++i) {
+        const auto p = static_cast<Phase>(i);
+        JsonValue ph = JsonValue::object();
+        ph.set("ns", JsonValue(ns_[i]));
+        ph.set("share",
+               JsonValue(total ? double(ns_[i]) / double(total) : 0.0));
+        phases.set(phaseName(p), std::move(ph));
+    }
+    o.set("phases", std::move(phases));
+    return o;
+}
+
+} // namespace spin::obs

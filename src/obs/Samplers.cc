@@ -74,6 +74,33 @@ NetworkSamplers::tick(Cycle now)
     }
 }
 
+void
+NetworkSamplers::reset(Cycle now)
+{
+    (void)now;
+    for (RingSeries &s : occ_)
+        s.clear();
+    for (RingSeries &s : stalls_)
+        s.clear();
+    for (RingSeries &s : linkUtil_)
+        s.clear();
+    samples_ = 0;
+    // Re-baseline deltas from the live counters: credit stalls keep
+    // accumulating across the boundary, link-use counters were just
+    // zeroed by Network::beginMeasurement (reading them handles either
+    // ordering).
+    const int nr = net_.numRouters();
+    for (RouterId r = 0; r < nr; ++r) {
+        lastStalls_[static_cast<std::size_t>(r)] =
+            net_.router(r).creditStallCycles();
+    }
+    for (int li = 0; li < net_.numLinks(); ++li) {
+        const Link &l = net_.link(li);
+        lastLinkUses_[static_cast<std::size_t>(li)] =
+            l.flitUses() + l.probeUses() + l.moveUses();
+    }
+}
+
 JsonValue
 NetworkSamplers::toJson() const
 {

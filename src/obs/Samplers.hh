@@ -62,6 +62,15 @@ class RingSeries
     /** Samples ever pushed (>= size() once the ring wraps). */
     std::uint64_t total() const { return total_; }
 
+    /** Drop every retained sample (capacity unchanged). */
+    void
+    clear()
+    {
+        buf_.clear();
+        head_ = 0;
+        total_ = 0;
+    }
+
     /** i-th retained sample, oldest first. */
     std::pair<Cycle, double>
     at(std::size_t i) const
@@ -91,6 +100,15 @@ class NetworkSamplers
 
     /** Called by Network::step() every cycle; samples on period ticks. */
     void tick(Cycle now);
+
+    /**
+     * Warmup-reset hook (Network::beginMeasurement): drop every warmup
+     * sample and re-read the delta baselines from the *current*
+     * cumulative counters, so the first measurement-window sample
+     * covers measurement cycles only. Mirrors the non-structural
+     * counter reset in Stats::reset.
+     */
+    void reset(Cycle now);
 
     /// @name Series access
     /// @{

@@ -18,6 +18,8 @@ Router::Router(Network &net, RouterId id)
 {
     const Topology &topo = net.topo();
     const NetworkConfig &cfg = net.config();
+    vnetLoad_.assign(static_cast<std::size_t>(cfg.vnets), 0);
+    vcsPerVnet_ = cfg.vcsPerVnet;
     const int radix = topo.radix(id);
 
     nicPort_.assign(radix, false);
@@ -70,6 +72,7 @@ Router::receiveFlit(PortId inport, VcId vcid, Flit f)
     f.arrivedAt = now;
     inputs_[inport].vc(vcid).pushFlit(std::move(f), now);
     ++*load_;
+    ++vnetLoad_[vcVnet(vcid)];
     occupied_[inport] |= std::uint64_t{1} << vcid;
     if (spin_ && !inputs_[inport].fromNic())
         spin_->onFlitArrival(inport, vcid);
@@ -96,6 +99,7 @@ Router::markDead(Cycle now)
             while (!vc.empty()) {
                 const Flit f = vc.popFlit();
                 --*load_;
+                --vnetLoad_[vcVnet(v)];
                 ++net_.stats().flitsLostToFaults;
                 if (f.isTail()) {
                     ++net_.stats().packetsLostToFaults;
@@ -258,6 +262,7 @@ Router::purgeUnroutable(PortId inport, VcId vcid)
     while (!vc.empty()) {
         vc.popFlit();
         --*load_;
+        --vnetLoad_[vcVnet(vcid)];
         creditUpstream(inport, vcid, vc.empty());
     }
     occupied_[inport] &= ~(std::uint64_t{1} << vcid);
@@ -438,6 +443,7 @@ Router::sendFlit(PortId inport, VcId vcid)
     vc.noteProgress(now);
     Flit f = vc.popFlit();
     --*load_;
+    --vnetLoad_[vcVnet(vcid)];
     if (vc.empty())
         occupied_[inport] &= ~(std::uint64_t{1} << vcid);
     OutputUnit &out = outputs_[outport];
@@ -552,6 +558,7 @@ Router::forceSend(PortId inport, VcId vcid, PortId outport, VcId down_vc,
     while (!vc.empty()) {
         lfs.push_back(LinkFlit{vc.popFlit(), down_vc});
         --*load_;
+        --vnetLoad_[vcVnet(vcid)];
     }
     occupied_[inport] &= ~(std::uint64_t{1} << vcid);
 

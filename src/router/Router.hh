@@ -141,6 +141,14 @@ class Router
      */
     int bufferedFlits() const { return *load_; }
 
+    /** Flits buffered in input VCs belonging to @p vnet. Maintained
+     *  incrementally next to the load slot, so the metrics gauges
+     *  never walk the VC table. */
+    std::uint64_t bufferedFlitsInVnet(VnetId vnet) const
+    {
+        return vnetLoad_[static_cast<std::size_t>(vnet)];
+    }
+
   private:
     Network &net_;
     RouterId id_;
@@ -168,6 +176,12 @@ class Router
      *  bufferedFlits()); Network::step() scans that array directly so
      *  skipping idle routers touches no Router object. */
     int *load_;
+
+    /** Per-vnet slice of *load_ (see bufferedFlitsInVnet()). Updated
+     *  wherever load_ is, via vcVnet(). */
+    std::vector<std::uint64_t> vnetLoad_;
+    int vcsPerVnet_ = 1;
+    VnetId vcVnet(VcId vcid) const { return vcid / vcsPerVnet_; }
 
     /**
      * Per-inport bitmask of VCs holding at least one flit (bit v set

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/Metrics.hh"
+
 namespace spin
 {
 
@@ -45,27 +47,15 @@ Stats::reset(Cycle now)
 double
 Stats::latencyPercentile(double p) const
 {
+    // No packets retired means there is nothing to rank: return 0
+    // rather than walking (and interpolating past the end of) an empty
+    // or stale histogram. The shared helper ranks against the
+    // histogram's own population, so a histogram that briefly disagrees
+    // with packetsEjected (mid-update) still yields a value inside the
+    // recorded range.
     if (packetsEjected == 0 || latencyHist.empty())
         return 0.0;
-    if (p <= 0.0)
-        p = 1e-9;
-    if (p > 1.0)
-        p = 1.0;
-    const double target = p * double(packetsEjected);
-    double seen = 0.0;
-    for (std::size_t b = 0; b < latencyHist.size(); ++b) {
-        const double in_bucket = double(latencyHist[b]);
-        if (seen + in_bucket >= target) {
-            // Bucket b holds latencies in [2^(b-1), 2^b); interpolate.
-            const double lo = b == 0 ? 0.0 : double(1ull << (b - 1));
-            const double hi = double(1ull << b);
-            const double frac =
-                in_bucket > 0 ? (target - seen) / in_bucket : 0.0;
-            return lo + frac * (hi - lo);
-        }
-        seen += in_bucket;
-    }
-    return double(maxLatency);
+    return obs::histogramPercentile(latencyHist, p);
 }
 
 double

@@ -17,6 +17,7 @@
 #include "SpinTestUtil.hh"
 #include "bench/BenchUtil.hh"
 #include "deadlock/OracleDetector.hh"
+#include "fault/FaultSchedule.hh"
 #include "obs/Forensics.hh"
 #include "obs/Json.hh"
 #include "obs/Samplers.hh"
@@ -662,4 +663,165 @@ TEST(Telemetry, DisabledTracingChangesNothing)
     EXPECT_EQ(plain->stats().spins, traced->stats().spins);
     EXPECT_EQ(plain->stats().latencySum, traced->stats().latencySum);
     EXPECT_EQ(plain->stats().probesSent, traced->stats().probesSent);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic Stats JSON
+// ---------------------------------------------------------------------
+
+TEST(StatsJson, KeyOrderIsDeterministic)
+{
+    // Two independent identical runs must serialize byte-identically:
+    // downstream tools (spin_report, check_sweep_baseline) diff stats
+    // dumps textually, so key order is part of the contract.
+    const auto run = [] {
+        auto net = ringNetwork(6, DeadlockScheme::Spin);
+        injectRingDeadlock(*net);
+        drain(*net, 5000);
+        return net->stats().toJson().dump();
+    };
+    const std::string a = run();
+    EXPECT_EQ(a, run());
+
+    // The top-level sections keep their documented insertion order.
+    std::string err;
+    const JsonValue j = JsonValue::parse(a, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::vector<std::string> keys;
+    for (const auto &m : j.members())
+        keys.push_back(m.first);
+    const std::vector<std::string> expected = {
+        "traffic", "spin", "baseline", "faults", "derived", "windowStart"};
+    EXPECT_EQ(keys, expected);
+
+    // Percentiles on a run with no retired packets stay well-defined.
+    const Stats empty;
+    EXPECT_EQ(empty.latencyPercentile(0.5), 0.0);
+    EXPECT_EQ(empty.toJson()["derived"]["p99Latency"].asNumber(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Warmup reset semantics
+// ---------------------------------------------------------------------
+
+TEST(Samplers, WarmupResetDropsSeriesAndRebaselines)
+{
+    auto net = ringNetwork(6, DeadlockScheme::Spin);
+    obs::SamplerConfig scfg;
+    scfg.period = 8;
+    net->enableSampling(scfg);
+    injectRingDeadlock(*net);
+    drain(*net, 5000);
+
+    const obs::NetworkSamplers *s = net->samplers();
+    ASSERT_NE(s, nullptr);
+    ASSERT_GT(s->samplesTaken(), 0u);
+
+    // beginMeasurement drops every warmup sample...
+    net->beginMeasurement();
+    EXPECT_EQ(s->samplesTaken(), 0u);
+    for (RouterId r = 0; r < net->numRouters(); ++r) {
+        EXPECT_EQ(s->routerOccupancy(r).size(), 0u);
+        EXPECT_EQ(s->routerCreditStalls(r).size(), 0u);
+    }
+    for (int l = 0; l < net->numLinks(); ++l)
+        EXPECT_EQ(s->linkUtilization(l).size(), 0u);
+
+    // ...and the samplers keep working afterwards, with window deltas
+    // measured against the post-reset baseline (a busy-fraction above
+    // 1.0 would betray a stale cumulative baseline).
+    injectRingDeadlock(*net);
+    drain(*net, 5000);
+    EXPECT_GT(s->samplesTaken(), 0u);
+    for (int l = 0; l < net->numLinks(); ++l) {
+        const obs::RingSeries &u = s->linkUtilization(l);
+        for (std::size_t i = 0; i < u.size(); ++i) {
+            EXPECT_GE(u.at(i).second, 0.0);
+            EXPECT_LE(u.at(i).second, 1.0);
+        }
+    }
+}
+
+TEST(Samplers, RingSeriesClearEmptiesRetainedAndTotal)
+{
+    obs::RingSeries s(4);
+    for (int i = 0; i < 10; ++i)
+        s.push(static_cast<Cycle>(i), i * 1.0);
+    ASSERT_EQ(s.size(), 4u);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.total(), 0u);
+    // Post-clear pushes behave like a fresh ring (head rewound).
+    s.push(100, 42.0);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.at(0).first, 100u);
+    EXPECT_EQ(s.back(), 42.0);
+}
+
+// ---------------------------------------------------------------------
+// Fault-category tracing
+// ---------------------------------------------------------------------
+
+TEST(Tracer, FaultCategoryMaskPassesInjectorEvents)
+{
+    std::string perr;
+    const JsonValue doc = JsonValue::parse(
+        R"({"schema": "spin-faults/v1",
+            "events": [{"kind": "corrupt", "cycle": 4,
+                        "src": 0, "dst": 1}]})",
+        &perr);
+    ASSERT_TRUE(perr.empty()) << perr;
+    fault::FaultSchedule fs;
+    std::string err;
+    ASSERT_TRUE(fault::FaultSchedule::fromJson(doc, fs, err)) << err;
+
+    std::stringstream ss;
+    {
+        auto net = ringNetwork(6, DeadlockScheme::Spin);
+        net->setTracer(std::make_unique<obs::Tracer>(
+            std::make_unique<obs::JsonlSink>(ss), obs::kCatFault));
+        net->attachFaults(std::move(fs));
+        injectRingDeadlock(*net);
+        drain(*net, 5000);
+        // Flit/spin/link events all crossed the tracer and were
+        // rejected by the category mask.
+        EXPECT_GT(net->trace()->filtered(), 0u);
+        EXPECT_GT(net->trace()->recorded(), 0u);
+    }
+    int lines = 0;
+    bool saw_arm = false;
+    std::string line;
+    while (std::getline(ss, line)) {
+        ++lines;
+        const JsonValue j = JsonValue::parse(line);
+        EXPECT_EQ(j["cat"].asString(), "fault") << line;
+        if (j["ev"].asString() == "corrupt_arm")
+            saw_arm = true;
+    }
+    EXPECT_GT(lines, 0);
+    EXPECT_TRUE(saw_arm); // the schedule application itself is traced
+}
+
+// ---------------------------------------------------------------------
+// Forensics on a clean run
+// ---------------------------------------------------------------------
+
+TEST(Forensics, CleanRunExportsEmptyButValidJson)
+{
+    auto net = ringNetwork(6, DeadlockScheme::Spin);
+    net->enableForensics();
+    // Light, non-deadlocking traffic: one short packet.
+    net->offerPacket(net->makePacket(0, 2, 0, 3));
+    drain(*net, 5000);
+    EXPECT_EQ(net->packetsInFlight(), 0);
+    EXPECT_EQ(net->stats().spins, 0u);
+
+    const obs::Forensics *f = net->forensics();
+    ASSERT_NE(f, nullptr);
+    std::string err;
+    const JsonValue j = JsonValue::parse(f->toJson().dump(2), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(j["dropped"].asU64(), 0u);
+    ASSERT_NE(j.find("snapshots"), nullptr);
+    EXPECT_EQ(j["snapshots"].size(), 0u);
 }

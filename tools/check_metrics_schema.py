@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Validate a spin-metrics/v1 JSONL stream (the --metrics output).
+
+Every line is one self-describing record. Per stream (a stream is all
+records sharing one ``cell`` label, or the unlabeled records):
+
+* exactly one ``header`` naming the instruments and the window interval
+  before any ``window``;
+* ``window`` records with contiguous ``seq`` starting at 0, monotonic
+  half-open cycle ranges, counter/gauge keys matching the header's
+  instrument lists exactly, and the derived block present;
+* at most one ``measurement-begin`` marker;
+* at most one ``finish`` record, after every window, whose ``windows``
+  count matches the windows seen.
+
+This is the drift gate for the metrics pipeline: a field renamed, a
+record reordered, or an instrument silently dropped fails here before
+any consumer (spin_report.py, external dashboards) mis-parses it.
+
+Exit codes: 0 valid, 2 schema violation or IO error (mirroring
+check_sweep_baseline.py: drift is a setup/contract error, not a
+tolerance question).
+
+Usage:
+    tools/check_metrics_schema.py metrics.jsonl
+    tools/check_metrics_schema.py metrics.jsonl --min-windows 1
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "spin-metrics/v1"
+KINDS = ("header", "window", "measurement-begin", "finish")
+
+HEADER_KEYS = ("interval", "startCycle", "config", "counters", "gauges",
+               "histograms")
+WINDOW_KEYS = ("seq", "cycleStart", "cycleEnd", "counters", "gauges",
+               "hist", "derived")
+DERIVED_KEYS = ("throughput", "latencyAvg", "latencyP50", "latencyP99")
+
+
+def fail(msg):
+    print(f"check_metrics_schema: {msg}", file=sys.stderr)
+    print("The stream does not match the spin-metrics/v1 contract "
+          "(docs/OBSERVABILITY.md). If the producer changed "
+          "deliberately, bump the schema version and update this "
+          "checker together.", file=sys.stderr)
+    sys.exit(2)
+
+
+class Stream:
+    """Validation state for one cell label."""
+
+    def __init__(self, label):
+        self.label = label or "<unlabeled>"
+        self.header = None
+        self.windows = 0
+        self.last_end = None
+        self.begun = False
+        self.finished = False
+
+    def where(self, lineno):
+        return f"line {lineno} (cell {self.label})"
+
+
+def check_names(where, kind, got, want):
+    if list(got) != list(want):
+        missing = [k for k in want if k not in got]
+        extra = [k for k in got if k not in want]
+        detail = []
+        if missing:
+            detail.append(f"missing {missing}")
+        if extra:
+            detail.append(f"unexpected {extra}")
+        if not detail:
+            detail.append("order differs from the header")
+        fail(f"{where}: {kind} keys drifted from the header's "
+             f"instrument list: {'; '.join(detail)}")
+
+
+def check_record(stream, rec, lineno):
+    where = stream.where(lineno)
+    kind = rec.get("kind")
+    if kind not in KINDS:
+        fail(f"{where}: unknown kind {kind!r}, want one of {KINDS}")
+
+    if kind == "header":
+        if stream.header is not None:
+            fail(f"{where}: duplicate header")
+        for key in HEADER_KEYS:
+            if key not in rec:
+                fail(f"{where}: header lacks {key!r}")
+        if not (isinstance(rec["interval"], int) and rec["interval"] > 0):
+            fail(f"{where}: interval must be a positive integer, got "
+                 f"{rec['interval']!r}")
+        for key in ("counters", "gauges", "histograms"):
+            names = rec[key]
+            if (not isinstance(names, list)
+                    or not all(isinstance(n, str) for n in names)):
+                fail(f"{where}: header {key!r} must be an array of "
+                     "instrument names")
+            if len(set(names)) != len(names):
+                fail(f"{where}: header {key!r} holds duplicate names")
+        stream.header = rec
+        return
+
+    if stream.header is None:
+        fail(f"{where}: {kind!r} record before the stream's header")
+    if stream.finished:
+        fail(f"{where}: {kind!r} record after the finish record")
+
+    if kind == "measurement-begin":
+        if stream.begun:
+            fail(f"{where}: duplicate measurement-begin marker")
+        if not isinstance(rec.get("cycle"), int):
+            fail(f"{where}: measurement-begin lacks an integer 'cycle'")
+        stream.begun = True
+        return
+
+    if kind == "finish":
+        if rec.get("windows") != stream.windows:
+            fail(f"{where}: finish claims {rec.get('windows')!r} "
+                 f"windows, stream held {stream.windows}")
+        stream.finished = True
+        return
+
+    # kind == "window"
+    for key in WINDOW_KEYS:
+        if key not in rec:
+            fail(f"{where}: window lacks {key!r}")
+    if rec["seq"] != stream.windows:
+        fail(f"{where}: window seq {rec['seq']!r}, want "
+             f"{stream.windows} (contiguous from 0)")
+    start, end = rec["cycleStart"], rec["cycleEnd"]
+    if not (isinstance(start, int) and isinstance(end, int)
+            and start < end):
+        fail(f"{where}: window range [{start!r}, {end!r}) is not a "
+             "valid half-open cycle interval")
+    if stream.last_end is not None and start < stream.last_end:
+        fail(f"{where}: window starts at {start}, before the previous "
+             f"window's end {stream.last_end}")
+    check_names(where, "counters", rec["counters"].keys(),
+                stream.header["counters"])
+    check_names(where, "gauges", rec["gauges"].keys(),
+                stream.header["gauges"])
+    check_names(where, "hist", rec["hist"].keys(),
+                stream.header["histograms"])
+    for name, v in rec["counters"].items():
+        if not (isinstance(v, int) and v >= 0):
+            fail(f"{where}: counter {name!r} must be a non-negative "
+                 f"integer, got {v!r}")
+    for name, v in rec["gauges"].items():
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"{where}: gauge {name!r} must be numeric, got {v!r}")
+    for name, buckets in rec["hist"].items():
+        if (not isinstance(buckets, list) or not all(
+                isinstance(b, int) and b >= 0 for b in buckets)):
+            fail(f"{where}: histogram {name!r} must be an array of "
+                 "non-negative bucket counts")
+    for key in DERIVED_KEYS:
+        v = rec["derived"].get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"{where}: derived.{key} must be numeric, got {v!r}")
+    stream.windows += 1
+    stream.last_end = end
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a spin-metrics/v1 JSONL stream.")
+    ap.add_argument("path", help="metrics JSONL file (--metrics output)")
+    ap.add_argument("--min-windows", type=int, default=0,
+                    help="require at least N windows across all "
+                         "streams (default %(default)s)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {args.path}: {e}")
+
+    streams = {}
+    records = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            fail(f"line {lineno}: blank line in JSONL stream")
+        try:
+            rec = json.loads(line)
+        except ValueError as e:
+            fail(f"line {lineno}: not valid JSON: {e}")
+        if not isinstance(rec, dict):
+            fail(f"line {lineno}: record is a JSON "
+                 f"{type(rec).__name__}, want an object")
+        if rec.get("schema") != SCHEMA:
+            fail(f"line {lineno}: schema is {rec.get('schema')!r}, "
+                 f"want {SCHEMA!r}")
+        label = rec.get("cell")
+        if label is not None and not isinstance(label, str):
+            fail(f"line {lineno}: 'cell' must be a string when present")
+        stream = streams.setdefault(label, Stream(label))
+        check_record(stream, rec, lineno)
+        records += 1
+
+    if records == 0:
+        fail(f"{args.path} is empty: no records to validate")
+    total_windows = sum(s.windows for s in streams.values())
+    if total_windows < args.min_windows:
+        fail(f"{args.path}: {total_windows} window(s) across "
+             f"{len(streams)} stream(s), need at least "
+             f"{args.min_windows}")
+
+    print(f"OK: {records} records, {len(streams)} stream(s), "
+          f"{total_windows} window(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Gate the metrics-off/on overhead of the simulator hot loop.
+
+Reads a google-benchmark JSON export of micro_router and compares the
+``cycles/s`` rate of every ``BM_MeshStep/<arg>`` run against its
+``BM_MeshStepMetrics/<arg>`` twin (same workload with windowed metrics
+enabled on a null sink). The windowed-metrics engine is designed to be
+amortized -- one predicted branch per cycle plus a snapshot every
+window -- so the on-rate must stay within ``--max-delta`` percent
+(default 2%) of the off-rate.
+
+Noise control: run the benchmark with repetitions (plus
+``--benchmark_enable_random_interleaving=true`` so the off/on twins do
+not run in distinct time windows) and this script keeps the BEST (max
+cycles/s) repetition per benchmark -- the least-perturbed run is the
+fairest estimate of the code's cost on a shared CI box. The hard gate
+is the GEOMETRIC MEAN of the per-arg off/on ratios: single-arg spikes
+on a noisy box do not fail the build, a systematic slowdown across the
+load levels does. Per-arg rows are printed for diagnosis either way.
+
+    build/bench/micro_router --benchmark_filter='BM_MeshStep' \\
+        --benchmark_repetitions=5 \\
+        --benchmark_enable_random_interleaving=true \\
+        --benchmark_format=json > micro.json
+    tools/check_micro_delta.py micro.json
+
+Exit codes: 0 within budget, 1 overhead above budget, 2 bad input
+(mirroring check_sweep_baseline.py: setup problems are not perf
+regressions).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+OFF = "BM_MeshStep"
+ON = "BM_MeshStepMetrics"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_micro_delta: cannot load {path}: {e}",
+              file=sys.stderr)
+        print("Produce it with: micro_router "
+              "--benchmark_filter='BM_MeshStep' "
+              "--benchmark_repetitions=5 --benchmark_format=json",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        print(f"check_micro_delta: {path} is not google-benchmark JSON "
+              "(no 'benchmarks' array)", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def best_rates(doc):
+    """{(family, arg): best cycles/s across repetitions}."""
+    rates = {}
+    for b in doc["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        # "BM_MeshStep/20" or "BM_MeshStep/20/repeats:5" -> family, arg
+        parts = name.split("/")
+        family = parts[0]
+        if family not in (OFF, ON) or len(parts) < 2:
+            continue
+        arg = parts[1]
+        rate = b.get("cycles/s")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            print(f"check_micro_delta: run {name!r} lacks a positive "
+                  "'cycles/s' counter", file=sys.stderr)
+            sys.exit(2)
+        key = (family, arg)
+        rates[key] = max(rates.get(key, 0.0), rate)
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Assert metrics-on micro_router throughput is "
+                    "within a budget of metrics-off.")
+    ap.add_argument("path", help="micro_router --benchmark_format=json "
+                                 "output")
+    ap.add_argument("--max-delta", type=float, default=2.0,
+                    help="allowed slowdown in percent "
+                         "(default %(default)s)")
+    args = ap.parse_args()
+
+    rates = best_rates(load(args.path))
+    args_seen = sorted({arg for fam, arg in rates if fam == OFF},
+                       key=lambda a: int(a) if a.isdigit() else 0)
+    if not args_seen:
+        print(f"check_micro_delta: no {OFF}/<arg> runs in {args.path}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    log_ratio_sum = 0.0
+    for arg in args_seen:
+        off = rates.get((OFF, arg))
+        on = rates.get((ON, arg))
+        if on is None:
+            print(f"check_micro_delta: {OFF}/{arg} has no {ON}/{arg} "
+                  "twin -- run without --benchmark_filter narrowing it "
+                  "out", file=sys.stderr)
+            sys.exit(2)
+        delta = (off - on) / off * 100.0
+        tag = "ok" if delta <= args.max_delta else "high"
+        print(f"  arg {arg}: off {off:,.0f} cycles/s, on {on:,.0f} "
+              f"cycles/s, delta {delta:+.2f}% [{tag}]")
+        log_ratio_sum += math.log(on / off)
+
+    geomean = (1.0 - math.exp(log_ratio_sum / len(args_seen))) * 100.0
+    if geomean > args.max_delta:
+        print(f"FAIL: metrics-enabled hot loop is {geomean:+.2f}% "
+              f"slower (geomean over {len(args_seen)} load levels, "
+              f"budget {args.max_delta}%). Check for work on the "
+              "per-cycle path that should live behind the window "
+              "boundary (src/obs/Metrics.hh tick()).")
+        return 1
+    print(f"OK: metrics overhead {geomean:+.2f}% (geomean over "
+          f"{len(args_seen)} load levels, budget {args.max_delta}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "exp/ArgParse.hh"
 #include "exp/Campaign.hh"
 #include "exp/Report.hh"
@@ -51,6 +53,13 @@ usage()
            "  --fast             quarter-scale warmup/measure\n"
            "  --faults PATH      inject a spin-faults/v1 schedule into\n"
            "                     every cell (docs/FAULTS.md)\n"
+           "  --metrics PATH     combined spin-metrics/v1 JSONL of every\n"
+           "                     simulated cell (docs/OBSERVABILITY.md)\n"
+           "  --metrics-interval N  metrics window in cycles (default\n"
+           "                     256)\n"
+           "  --profile          per-phase wall-clock attribution\n"
+           "  --live             single-line progress meter on stderr\n"
+           "                     (auto when stderr is a TTY)\n"
            "  --progress         per-cell progress on stderr\n"
            "  --cells            print the cell expansion and exit\n"
            "  --list             list built-in specs and presets\n"
@@ -116,9 +125,12 @@ int
 main(int argc, char **argv)
 {
     std::string specArg, outDir, jsonPath, benchJsonPath, faultsPath;
+    std::string metricsPath;
     std::uint64_t jobs = 1, warmup = 0, measure = 0;
+    std::uint64_t metricsInterval = 256;
     bool warmupSet = false, measureSet = false;
-    bool fast = false, resume = false, progress = false;
+    bool fast = false, resume = false, progress = false, live = false;
+    bool profile = false;
     bool noCells = false, printCells = false, list = false, help = false;
 
     const std::vector<ArgSpec> specs = {
@@ -134,6 +146,10 @@ main(int argc, char **argv)
         argU64("--measure", &measure, &measureSet),
         argFlag("--fast", &fast),
         argStr("--faults", &faultsPath),
+        argStr("--metrics", &metricsPath),
+        argU64("--metrics-interval", &metricsInterval),
+        argFlag("--profile", &profile),
+        argFlag("--live", &live),
         argFlag("--progress", &progress),
         argFlag("--cells", &printCells),
         argFlag("--list", &list),
@@ -188,6 +204,12 @@ main(int argc, char **argv)
     copt.jobs = static_cast<int>(jobs);
     copt.resume = resume;
     copt.progress = progress;
+    copt.metricsPath = metricsPath;
+    copt.metricsInterval = metricsInterval;
+    copt.profile = profile;
+    // The meter is for humans: auto-enable on a TTY unless per-cell
+    // logging was requested, which it would overwrite.
+    copt.live = live || (!progress && isatty(fileno(stderr)) != 0);
     if (!faultsPath.empty() &&
         !fault::FaultSchedule::fromFile(faultsPath, copt.faultSchedule,
                                         err)) {
@@ -220,16 +242,23 @@ main(int argc, char **argv)
                 perf.cells, perf.cellsSimulated, perf.cellsCached,
                 perf.wallSeconds, perf.cellsPerSec(),
                 perf.cyclesPerSec());
+    if (profile)
+        printPhaseProfile(campaign.profile().toJson());
 
     bool ok = true;
+    if (!metricsPath.empty())
+        std::printf("wrote %s\n", metricsPath.c_str());
     if (!jsonPath.empty()) {
         ok = writeJsonFile(jsonPath, results) && ok;
         if (ok)
             std::printf("wrote %s\n", jsonPath.c_str());
     }
     if (!benchJsonPath.empty()) {
-        const obs::JsonValue rec =
+        obs::JsonValue rec =
             benchRecord(spec, results, perf, static_cast<int>(jobs));
+        // Wall-clock only; the baseline checker never reads it.
+        if (profile)
+            rec.set("profile", campaign.profile().toJson());
         ok = writeJsonFile(benchJsonPath, rec) && ok;
         if (ok)
             std::printf("wrote %s\n", benchJsonPath.c_str());
