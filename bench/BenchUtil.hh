@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/Logging.hh"
+#include "deadlock/Invariants.hh"
 #include "exp/ArgParse.hh"
 #include "exp/Report.hh"
 #include "fault/FaultSchedule.hh"
@@ -59,6 +60,9 @@ struct Options
     std::string faultsPath;
     std::string metricsPath;
     Cycle metricsInterval = 256;
+    /** Run the invariant auditor every N cycles; 0 disables. A
+     *  violation fails the bench fast with a spin-audit/v1 report. */
+    Cycle auditInterval = 0;
     bool profile = false;
 
     static const char *
@@ -78,6 +82,9 @@ struct Options
                "simulated network\n"
                "  --metrics-interval N  metrics window in cycles "
                "(default 256)\n"
+               "  --audit N      run the invariant auditor every N "
+               "cycles;\n"
+               "                 fail fast with a spin-audit/v1 report\n"
                "  --profile      per-phase wall-clock attribution\n"
                "  --help         this message\n";
     }
@@ -100,6 +107,7 @@ struct Options
             exp::argStr("--faults", &o.faultsPath),
             exp::argStr("--metrics", &o.metricsPath),
             exp::argU64("--metrics-interval", &o.metricsInterval),
+            exp::argU64("--audit", &o.auditInterval),
             exp::argFlag("--profile", &o.profile),
             exp::argFlag("--fast", &o.fast),
         };
@@ -257,14 +265,36 @@ sweep(const ConfigPreset &preset,
         icfg.injectionRate = rate;
         icfg.seed = preset.cfg.seed + 1;
         SyntheticInjector inj(*net, pattern, icfg);
+        // --audit N: sample the runtime invariant auditor (the same
+        // oracle spin_model applies per cycle) and fail the bench fast
+        // on the first violation, leaving the report for CI artifacts.
+        const auto maybeAudit = [&]() {
+            if (opt.auditInterval == 0 ||
+                net->now() % opt.auditInterval != 0) {
+                return;
+            }
+            const AuditReport rep = auditNetwork(*net);
+            if (rep.clean())
+                return;
+            obs::JsonValue doc = rep.toJson();
+            doc.set("cycle", obs::JsonValue(net->now()));
+            const char *path = "spin-audit-violation.json";
+            std::ofstream os(path);
+            os << doc.dump(2) << '\n';
+            SPIN_FATAL("invariant audit failed at cycle ", net->now(),
+                       " (", rep.violations.size(), " violation(s): ",
+                       rep.violations.front(), "); report: ", path);
+        };
         for (Cycle i = 0; i < opt.warmup; ++i) {
             inj.tick();
             net->step();
+            maybeAudit();
         }
         net->beginMeasurement();
         for (Cycle i = 0; i < opt.measure; ++i) {
             inj.tick();
             net->step();
+            maybeAudit();
         }
         if (opt.profile)
             profileTotals().merge(*net->profiler());

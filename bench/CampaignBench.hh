@@ -64,6 +64,9 @@ campaignUsage()
            "                  several specs the spec name is appended)\n"
            "  --metrics-interval N  metrics window in cycles (default\n"
            "                  256)\n"
+           "  --audit N       run the invariant auditor every N cycles\n"
+           "                  in every cell; fail fast with a\n"
+           "                  spin-audit/v1 report on violation\n"
            "  --profile       per-phase wall-clock attribution\n"
            "  --live          single-line progress meter on stderr\n"
            "                  (auto when stderr is a TTY)\n"
@@ -86,7 +89,7 @@ runCampaignMain(const char *banner,
                 CampaignReport report, int argc, char **argv)
 {
     std::uint64_t jobs = 1, warmup = 0, measure = 0, seed = 0;
-    std::uint64_t metricsInterval = 256;
+    std::uint64_t metricsInterval = 256, auditInterval = 0;
     bool warmupSet = false, measureSet = false, seedSet = false;
     bool fast = false, resume = false, progress = false, live = false;
     bool profile = false;
@@ -107,6 +110,7 @@ runCampaignMain(const char *banner,
         exp::argStr("--json", &jsonPath),
         exp::argStr("--metrics", &metricsPath),
         exp::argU64("--metrics-interval", &metricsInterval),
+        exp::argU64("--audit", &auditInterval),
         exp::argFlag("--profile", &profile),
         exp::argFlag("--live", &live),
         exp::argFlag("--progress", &progress),
@@ -159,6 +163,7 @@ runCampaignMain(const char *banner,
         copt.progress = progress;
         copt.live = live || (!progress && isatty(fileno(stderr)) != 0);
         copt.profile = profile;
+        copt.auditInterval = auditInterval;
         copt.faultSchedule = faultSchedule;
         if (!metricsPath.empty()) {
             copt.metricsPath = specNames.size() == 1

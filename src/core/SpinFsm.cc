@@ -32,4 +32,102 @@ toString(SpinState s)
     return "?";
 }
 
+std::string
+toString(ProtocolMutation m)
+{
+    switch (m) {
+      case ProtocolMutation::None:               return "none";
+      case ProtocolMutation::SkipKillMove:       return "skip-kill-move";
+      case ProtocolMutation::SkipCancelUnfreeze:
+        return "skip-cancel-unfreeze";
+    }
+    return "?";
+}
+
+bool
+FsmSnapshot::operator==(const FsmSnapshot &o) const
+{
+    return state == o.state && deadlineIn == o.deadlineIn &&
+           ptrInport == o.ptrInport && ptrVc == o.ptrVc &&
+           victimActive == o.victimActive &&
+           victimSource == o.victimSource && spinIn == o.spinIn &&
+           loopValid == o.loopValid && loopPath == o.loopPath &&
+           loopLatency == o.loopLatency && loopVnet == o.loopVnet &&
+           probeAttempt == o.probeAttempt && frozen == o.frozen;
+}
+
+SpinState
+FsmSnapshot::paperState(RouterId self) const
+{
+    if (victimActive && victimSource != self)
+        return SpinState::Frozen;
+    switch (state) {
+      case InitState::Off:            return SpinState::Off;
+      case InitState::DetectDeadlock: return SpinState::DetectDeadlock;
+      case InitState::MoveWait:       return SpinState::Move;
+      case InitState::FwdProgress:    return SpinState::ForwardProgress;
+      case InitState::ProbeMoveWait:  return SpinState::ProbeMove;
+      case InitState::KillMoveWait:   return SpinState::KillMove;
+    }
+    return SpinState::Off;
+}
+
+bool
+initTransitionAllowed(InitState from, InitState to)
+{
+    if (from == to)
+        return true;
+    switch (from) {
+      case InitState::Off:
+        // onFlitArrival / resetDetection arm the detection counter.
+        return to == InitState::DetectDeadlock;
+      case InitState::DetectDeadlock:
+        // Probe returned -> MoveWait; traffic drained -> Off.
+        return to == InitState::MoveWait || to == InitState::Off;
+      case InitState::MoveWait:
+        // Move returned + freeze -> FwdProgress; timeout or vanished
+        // dependency -> kill_move.
+        return to == InitState::FwdProgress ||
+               to == InitState::KillMoveWait;
+      case InitState::FwdProgress:
+        // Spin executed -> probe_move re-check; spin cancelled by the
+        // safety fixpoint -> restart (or stop) detection.
+        return to == InitState::ProbeMoveWait ||
+               to == InitState::DetectDeadlock || to == InitState::Off;
+      case InitState::ProbeMoveWait:
+        // Re-check confirmed the loop -> FwdProgress again; dropped
+        // (loop resolved) -> kill_move.
+        return to == InitState::FwdProgress ||
+               to == InitState::KillMoveWait;
+      case InitState::KillMoveWait:
+        // Kill returned or timed out -> restart (or stop) detection.
+        return to == InitState::DetectDeadlock || to == InitState::Off;
+    }
+    return false;
+}
+
+bool
+paperTransitionAllowed(SpinState from, SpinState to)
+{
+    // S_Frozen masks the initiator context; entering/leaving it is
+    // governed by the victim rules, not this relation.
+    if (from == to || from == SpinState::Frozen ||
+        to == SpinState::Frozen) {
+        return true;
+    }
+    const auto unmap = [](SpinState s) {
+        switch (s) {
+          case SpinState::Off:             return InitState::Off;
+          case SpinState::DetectDeadlock:  return InitState::DetectDeadlock;
+          case SpinState::Move:            return InitState::MoveWait;
+          case SpinState::ForwardProgress: return InitState::FwdProgress;
+          case SpinState::ProbeMove:       return InitState::ProbeMoveWait;
+          case SpinState::KillMove:        return InitState::KillMoveWait;
+          case SpinState::Frozen:          break;
+        }
+        return InitState::Off;
+    };
+    return initTransitionAllowed(unmap(from), unmap(to));
+}
+
 } // namespace spin

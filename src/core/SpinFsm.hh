@@ -24,7 +24,10 @@
 #ifndef SPINNOC_CORE_SPINFSM_HH
 #define SPINNOC_CORE_SPINFSM_HH
 
+#include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/Types.hh"
 
@@ -67,6 +70,94 @@ struct VictimCtx
     RouterId source = kInvalidId;
     Cycle spinCycle = kNeverCycle;
 };
+
+/**
+ * Complete save/restore image of one SpinUnit's recovery state: both
+ * FSM contexts, the detection pointer, the latched loop and the frozen
+ * entries. Absolute cycles (deadline, committed spin cycle) are stored
+ * *relative to the capture cycle* so snapshots of behaviorally
+ * identical states taken at different times compare equal -- the
+ * property the model checker's visited-state dedup relies on.
+ */
+struct FsmSnapshot
+{
+    /** Relative-time sentinel mirroring kNeverCycle. */
+    static constexpr std::int64_t kNever =
+        std::numeric_limits<std::int64_t>::max();
+
+    InitState state = InitState::Off;
+    /** deadline - now; kNever when no timer is armed. */
+    std::int64_t deadlineIn = kNever;
+    PortId ptrInport = kInvalidId;
+    VcId ptrVc = kInvalidId;
+
+    bool victimActive = false;
+    RouterId victimSource = kInvalidId;
+    /** victim spinCycle - now; kNever when inactive. */
+    std::int64_t spinIn = kNever;
+
+    bool loopValid = false;
+    std::vector<PortId> loopPath;
+    Cycle loopLatency = 0;
+    VnetId loopVnet = 0;
+    std::uint64_t probeAttempt = 0;
+
+    /** Frozen-VC bookkeeping (mirrors SpinUnit::FrozenEntry). */
+    struct Frozen
+    {
+        PortId inport = kInvalidId;
+        VcId vc = kInvalidId;
+        PortId outport = kInvalidId;
+
+        bool
+        operator==(const Frozen &o) const
+        {
+            return inport == o.inport && vc == o.vc &&
+                   outport == o.outport;
+        }
+    };
+    std::vector<Frozen> frozen;
+
+    bool operator==(const FsmSnapshot &o) const;
+    bool operator!=(const FsmSnapshot &o) const { return !(*this == o); }
+
+    /** The paper's seven-state view of this snapshot (the same mapping
+     *  as SpinUnit::paperState(), self-id supplied by the caller). */
+    SpinState paperState(RouterId self) const;
+};
+
+/**
+ * Initiator-context transition relation (paper Fig. 4a projected onto
+ * the initiator FSM; see the table in the file comment). The model
+ * checker validates every per-cycle state change against this set;
+ * self-loops are always allowed.
+ */
+bool initTransitionAllowed(InitState from, InitState to);
+
+/**
+ * Seven-state (paper-view) transition relation. S_Frozen masks the
+ * initiator context, so any transition entering or leaving S_Frozen is
+ * allowed here; the victim-context rules are checked separately.
+ */
+bool paperTransitionAllowed(SpinState from, SpinState to);
+
+/**
+ * Deliberate protocol mutations for the model checker's
+ * catch-the-injected-bug validation (spin_model --mutate). `None` in
+ * every real configuration; the others each break one handshake step
+ * the checker must flag with a replayable counterexample.
+ */
+enum class ProtocolMutation : std::uint8_t
+{
+    None,
+    /** sendKill() transitions but never launches the kill_move SM. */
+    SkipKillMove,
+    /** The rotation-safety fixpoint cancels entries without unfreezing
+     *  them (and drops the cancellation notification). */
+    SkipCancelUnfreeze,
+};
+
+std::string toString(ProtocolMutation m);
 
 } // namespace spin
 

@@ -143,6 +143,32 @@ SpinManager::smPhase(Cycle now)
 void
 SpinManager::launch(std::vector<SmSend> &sends, Cycle now)
 {
+    // Model-checker interception point: each SM about to contend may be
+    // delayed a cycle or dropped, exploring schedules (launch-order
+    // races, FAvORS upsets, lossy wires) the deterministic rules below
+    // would never produce on their own.
+    if (smHook_) {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < sends.size(); ++r) {
+            switch (smHook_(sends[r], now)) {
+              case SmAction::Deliver:
+                if (w != r)
+                    sends[w] = std::move(sends[r]);
+                ++w;
+                break;
+              case SmAction::Delay:
+                scheduled_.emplace_back(now + 1, std::move(sends[r]));
+                break;
+              case SmAction::Drop:
+                ++net_.stats().smContentionDrops;
+                break;
+            }
+        }
+        sends.resize(w);
+        if (sends.empty())
+            return;
+    }
+
     // Group by physical link; one winner per link per cycle, everything
     // else is dropped (bufferless traversal).
     std::sort(sends.begin(), sends.end(),
@@ -363,9 +389,15 @@ SpinManager::spinPhase(Cycle now)
                                    tvc, refilled[i] != 0);
         ++executedAt[e.r];
     }
+    // SkipCancelUnfreeze (spin_model --mutate): "forget" to release the
+    // entries the safety fixpoint cancelled and to notify their units.
+    // The stale-victim audit invariant must flag the leaked freezes.
+    const bool skip_cancel =
+        mutation_ == ProtocolMutation::SkipCancelUnfreeze;
     for (const Entry &e : entries) {
         if (!e.valid) {
-            units_[e.r]->unfreeze(e.fe.inport, e.fe.outport);
+            if (!skip_cancel)
+                units_[e.r]->unfreeze(e.fe.inport, e.fe.outport);
             ++st.spinsCancelled;
             if (obs::Tracer *t = net_.trace())
                 t->spin(now, "spin_cancel", e.r, nullptr, e.fe.inport,
@@ -375,7 +407,7 @@ SpinManager::spinPhase(Cycle now)
     for (const RouterId r : involved) {
         if (executedAt[r] > 0)
             units_[r]->onSpinExecuted(now);
-        else
+        else if (!skip_cancel)
             units_[r]->onSpinCancelled(now);
     }
 }
@@ -385,6 +417,56 @@ SpinManager::fsmTick(Cycle now)
 {
     for (SpinUnit *u : units_)
         u->tick(now);
+}
+
+SmSubstrate
+SpinManager::snapshotSms(Cycle now) const
+{
+    SmSubstrate s;
+    for (int li = 0; li < static_cast<int>(smLines_.size()); ++li) {
+        smLines_[li].forEach([&](Cycle arrival, const SpecialMsg &sm) {
+            SmSubstrate::InFlight f;
+            f.link = li;
+            f.arriveIn = static_cast<std::int64_t>(arrival) -
+                         static_cast<std::int64_t>(now);
+            f.sm = sm;
+            s.inFlight.push_back(std::move(f));
+        });
+    }
+    s.pending.reserve(scheduled_.size());
+    for (const auto &[when, send] : scheduled_) {
+        SmSubstrate::Pending p;
+        p.dueIn = static_cast<std::int64_t>(when) -
+                  static_cast<std::int64_t>(now);
+        p.send = send;
+        s.pending.push_back(std::move(p));
+    }
+    return s;
+}
+
+void
+SpinManager::restoreSms(const SmSubstrate &s, Cycle now)
+{
+    for (DelayLine<SpecialMsg> &line : smLines_)
+        line.clear();
+    smsInFlight_ = 0;
+    scheduled_.clear();
+    for (const SmSubstrate::InFlight &f : s.inFlight) {
+        SPIN_ASSERT(f.link >= 0 &&
+                    f.link < static_cast<int>(smLines_.size()),
+                    "SM substrate restore onto a different topology");
+        smLines_[f.link].push(
+            static_cast<Cycle>(f.arriveIn +
+                               static_cast<std::int64_t>(now)),
+            f.sm);
+        ++smsInFlight_;
+    }
+    for (const SmSubstrate::Pending &p : s.pending) {
+        scheduled_.emplace_back(
+            static_cast<Cycle>(p.dueIn +
+                               static_cast<std::int64_t>(now)),
+            p.send);
+    }
 }
 
 } // namespace spin

@@ -14,7 +14,9 @@
 #ifndef SPINNOC_CORE_SPINMANAGER_HH
 #define SPINNOC_CORE_SPINMANAGER_HH
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/Types.hh"
@@ -27,6 +29,42 @@ namespace spin
 {
 
 class Network;
+
+/**
+ * Model-checker verdict for one SM about to contend for its link. The
+ * checker's interceptor (see setSmHook) perturbs SM schedules through
+ * these: Delay re-queues the send for the next cycle (models wire/
+ * arbitration jitter), Drop loses it outright (models contention or
+ * fault loss on paths the built-in contention rule would not pick).
+ */
+enum class SmAction : std::uint8_t
+{
+    Deliver,
+    Delay,
+    Drop,
+};
+
+/**
+ * Portable image of the SM substrate (in-flight SMs + scheduled
+ * emissions), arrival/send cycles stored relative to the capture cycle
+ * so images from different runs of the same behavior compare equal.
+ */
+struct SmSubstrate
+{
+    struct InFlight
+    {
+        int link = -1;
+        std::int64_t arriveIn = 0;
+        SpecialMsg sm;
+    };
+    struct Pending
+    {
+        std::int64_t dueIn = 0;
+        SmSend send;
+    };
+    std::vector<InFlight> inFlight;
+    std::vector<Pending> pending;
+};
 
 /** See file comment. */
 class SpinManager
@@ -54,6 +92,31 @@ class SpinManager
     /** Special messages currently traversing links (metrics gauge). */
     int smsInFlight() const { return smsInFlight_; }
 
+    /// @name Model-checker hooks
+    /// @{
+    /**
+     * Interceptor consulted for every SM just before link contention;
+     * its verdict (see SmAction) lets the model checker explore launch
+     * orderings the deterministic simulator would never produce. Null
+     * (the default) means every SM is delivered normally.
+     */
+    using SmHook = std::function<SmAction(const SmSend &, Cycle)>;
+    void setSmHook(SmHook hook) { smHook_ = std::move(hook); }
+
+    /** Deliberate protocol defect under test (spin_model --mutate). */
+    void setMutation(ProtocolMutation m) { mutation_ = m; }
+    ProtocolMutation mutation() const { return mutation_; }
+
+    /** Capture / re-apply the SM substrate (times relative to @p now). */
+    SmSubstrate snapshotSms(Cycle now) const;
+    void restoreSms(const SmSubstrate &s, Cycle now);
+    /** True when no SM is in flight or scheduled anywhere. */
+    bool smQuiescent() const
+    {
+        return smsInFlight_ == 0 && scheduled_.empty();
+    }
+    /// @}
+
     /// @name Parameters
     /// @{
     Cycle tDd() const { return tDd_; }
@@ -80,6 +143,8 @@ class SpinManager
     int smsInFlight_ = 0;
     /** FSM-scheduled future emissions. */
     std::vector<std::pair<Cycle, SmSend>> scheduled_;
+    SmHook smHook_;
+    ProtocolMutation mutation_ = ProtocolMutation::None;
 
     /** Resolve one cycle's link contention and launch the winners. */
     void launch(std::vector<SmSend> &sends, Cycle now);

@@ -84,6 +84,18 @@ class SpinUnit
     void onSpinCancelled(Cycle now);
     /// @}
 
+    /// @name State save/restore (model checker + tests)
+    /// @{
+    /** Capture the unit's full recovery state, times relative to @p now. */
+    FsmSnapshot snapshot(Cycle now) const;
+    /**
+     * Re-apply a snapshot taken at some earlier (or other-run) cycle,
+     * rebasing relative times onto @p now. Releases any currently
+     * frozen VCs, then re-applies the snapshot's freeze flags.
+     */
+    void restore(const FsmSnapshot &s, Cycle now);
+    /// @}
+
     /// @name Introspection
     /// @{
     InitState initState() const { return state_; }

@@ -4,6 +4,7 @@
 
 #include "core/SpinManager.hh"
 #include "core/SpinUnit.hh"
+#include "fault/FaultInjector.hh"
 #include "network/Network.hh"
 #include "router/Router.hh"
 
@@ -18,6 +19,20 @@ AuditReport::toString() const
     for (const std::string &v : violations)
         os << "\n  - " << v;
     return os.str();
+}
+
+obs::JsonValue
+AuditReport::toJson() const
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("schema", "spin-audit/v1");
+    doc.set("cycle", static_cast<std::uint64_t>(cycle));
+    doc.set("clean", clean());
+    obs::JsonValue arr = obs::JsonValue::array();
+    for (const std::string &v : violations)
+        arr.push(v);
+    doc.set("violations", std::move(arr));
+    return doc;
 }
 
 namespace
@@ -38,17 +53,26 @@ AuditReport
 auditNetwork(Network &net)
 {
     AuditReport rep;
+    rep.cycle = net.now();
     const Topology &topo = net.topo();
+    const fault::FaultInjector *fi = net.faults();
     const int vcs = net.config().totalVcs();
     const int depth = net.config().vcDepth;
 
     // 1. Credit conservation per link per VC: the upstream credit
     //    counter must equal depth minus everything it has not been
     //    credited for yet (buffered downstream, flits on the wire,
-    //    credits on the reverse wire).
+    //    credits on the reverse wire). Dead routers purge buffers
+    //    without crediting upstream and failed links strand whatever
+    //    was on the wire -- that modeled loss is permanent, so links
+    //    touching faulted hardware are exempt.
     for (int li = 0; li < net.numLinks(); ++li) {
         const Link &l = net.link(li);
         const LinkSpec &spec = l.spec();
+        if (fi && (fi->linkFailed(li) || fi->routerDead(spec.src) ||
+                   fi->routerDead(spec.dst))) {
+            continue;
+        }
         const Router &up = net.router(spec.src);
         const Router &down = net.router(spec.dst);
         for (VcId v = 0; v < vcs; ++v) {
@@ -68,6 +92,8 @@ auditNetwork(Network &net)
 
     for (RouterId r = 0; r < net.numRouters(); ++r) {
         Router &rt = net.router(r);
+        if (rt.dead())
+            continue; // markDead purged its state wholesale
         const SpinUnit *su = rt.spinUnit();
         int frozen_found = 0;
 
@@ -144,6 +170,17 @@ auditNetwork(Network &net)
             if (!su->victim().active && frozen_found > 0) {
                 report(rep, "R", r,
                        " frozen VCs without an active victim context");
+            }
+            // Stale victim: the committed spin cycle has passed but the
+            // entries were neither rotated nor cancelled -- a frozen-VC
+            // leak (the failure signature of a lost cancellation, e.g.
+            // the SkipCancelUnfreeze mutation).
+            if (su->victim().active &&
+                su->victim().spinCycle < net.now()) {
+                report(rep, "R", r, " victim context stale: spin cycle ",
+                       su->victim().spinCycle, " passed at cycle ",
+                       net.now(), " with ", su->frozenEntries().size(),
+                       " VC(s) still frozen");
             }
         }
     }

@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "common/Types.hh"
+#include "obs/Json.hh"
+
 namespace spin
 {
 
@@ -28,9 +31,14 @@ class Network;
 /** Result of one audit pass. */
 struct AuditReport
 {
+    /** Cycle the audit ran at. */
+    Cycle cycle = 0;
     std::vector<std::string> violations;
     bool clean() const { return violations.empty(); }
     std::string toString() const;
+    /** Machine-readable form (schema "spin-audit/v1") for CI
+     *  artifacts and the model checker's counterexample traces. */
+    obs::JsonValue toJson() const;
 };
 
 /**

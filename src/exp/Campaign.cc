@@ -12,6 +12,7 @@
 #include <cmath>
 
 #include "common/Logging.hh"
+#include "deadlock/Invariants.hh"
 #include "fault/FaultInjector.hh"
 #include "fault/FaultSchedule.hh"
 #include "network/Network.hh"
@@ -120,14 +121,42 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
     if (capture.profileOut)
         net->enableProfiler();
 
+    // Fail-fast invariant audit (spin_sweep --audit N): the same
+    // oracle the model checker uses per cycle, sampled every N cycles
+    // of a full-scale run. The first violation writes the spin-audit/v1
+    // report and aborts the cell.
+    const auto maybeAudit = [&]() {
+        if (capture.auditInterval == 0 ||
+            net->now() % capture.auditInterval != 0) {
+            return;
+        }
+        const AuditReport rep = auditNetwork(*net);
+        if (rep.clean())
+            return;
+        obs::JsonValue doc = rep.toJson();
+        doc.set("cell", obs::JsonValue(cell.id));
+        doc.set("cycle", obs::JsonValue(net->now()));
+        std::string where;
+        if (!capture.auditReportPath.empty()) {
+            std::ofstream os(capture.auditReportPath);
+            os << doc.dump(2) << '\n';
+            where = "; report: " + capture.auditReportPath;
+        }
+        SPIN_FATAL("invariant audit failed at cycle ", net->now(), " (",
+                   rep.violations.size(), " violation(s): ",
+                   rep.violations.front(), ")", where);
+    };
+
     for (Cycle i = 0; i < spec.warmup; ++i) {
         inj.tick();
         net->step();
+        maybeAudit();
     }
     net->beginMeasurement();
     for (Cycle i = 0; i < spec.measure; ++i) {
         inj.tick();
         net->step();
+        maybeAudit();
     }
 
     if (msink) {
@@ -292,6 +321,13 @@ Campaign::run()
                 if (wantMetrics) {
                     capture.metricsInterval = opt_.metricsInterval;
                     capture.metricsOut = &metricsLines[cell.index];
+                }
+                if (opt_.auditInterval > 0) {
+                    capture.auditInterval = opt_.auditInterval;
+                    capture.auditReportPath =
+                        opt_.cellDir.empty()
+                            ? "spin-audit-violation.json"
+                            : cellPath(cell) + ".audit.json";
                 }
                 obs::PhaseProfiler cellProfile;
                 if (opt_.profile)

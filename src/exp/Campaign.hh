@@ -64,6 +64,13 @@ struct CampaignOptions
     /** Metrics window length in cycles. */
     Cycle metricsInterval = 256;
     /**
+     * Audit the runtime invariants every N cycles in every simulated
+     * cell (spin_sweep --audit N); 0 disables. A violation aborts the
+     * campaign with the spin-audit/v1 report written next to the cell
+     * file (see CellCapture::auditReportPath).
+     */
+    Cycle auditInterval = 0;
+    /**
      * Single-line live progress meter on stderr (cells done/total,
      * cells/sec, ETA, worker utilization), redrawn a few times per
      * second. Meant for TTYs; `progress` is the log-friendly variant.
@@ -107,6 +114,16 @@ struct CellCapture
     /** When non-null, the cell runs profiled and its phase totals are
      *  merged in. */
     obs::PhaseProfiler *profileOut = nullptr;
+    /**
+     * Run the runtime invariant auditor (deadlock/Invariants.hh) every
+     * N cycles; 0 disables. The first violation fails the cell fast:
+     * the spin-audit/v1 report is written to auditReportPath (when
+     * set) and the cell throws FatalError.
+     */
+    Cycle auditInterval = 0;
+    /** Destination for the failure report; empty keeps it in the
+     *  exception message only. */
+    std::string auditReportPath;
 };
 
 /** See file comment. */

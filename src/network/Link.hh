@@ -145,6 +145,25 @@ class Link
         });
         return n;
     }
+
+    /** Visit every in-flight flit as (arrival, LinkFlit); state digests. */
+    template <typename F>
+    void
+    forEachFlit(F &&fn) const
+    {
+        flits_.forEach(fn);
+    }
+    /** Visit every in-flight credit as (arrival, CreditMsg). */
+    template <typename F>
+    void
+    forEachCredit(F &&fn) const
+    {
+        credits_.forEach(fn);
+    }
+    /** Last cycle a flit may still be entering the wire (digests). */
+    Cycle flitBusyUntil() const { return everBusy_ ? flitBusyUntil_ : 0; }
+    /** Cycle an SM last claimed the wire; kNeverCycle when never. */
+    Cycle smBusyAt() const { return smBusyAt_; }
     /// @}
 
     /// @name Fault state (mirror of the FaultInjector's bitmap)

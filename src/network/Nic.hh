@@ -54,6 +54,43 @@ class Nic
     /** Upstream view of the router's local in-port VCs. */
     const OutputUnit &tracker() const { return tracker_; }
 
+    /// @name State-digest inspection (model checker)
+    /// @{
+    /** Flits of the current packet still to stream into the router. */
+    std::size_t streamRemaining() const { return cur_.size() - curIdx_; }
+    /** VC the current packet is streaming into; kInvalidId when idle. */
+    VcId streamVc() const { return curVc_; }
+    /** Visit queued (not yet streaming) packets in order. */
+    template <typename F>
+    void
+    forEachQueued(F &&fn) const
+    {
+        for (const PacketPtr &p : queue_)
+            fn(*p);
+    }
+    /** Visit in-flight injection flits as (arrival, LinkFlit). */
+    template <typename F>
+    void
+    forEachInjFlit(F &&fn) const
+    {
+        injWire_.forEach(fn);
+    }
+    /** Visit in-flight ejection flits as (arrival, Flit). */
+    template <typename F>
+    void
+    forEachEjectFlit(F &&fn) const
+    {
+        ejectWire_.forEach(fn);
+    }
+    /** Visit in-flight NIC credits as (arrival, CreditMsg). */
+    template <typename F>
+    void
+    forEachCredit(F &&fn) const
+    {
+        credWire_.forEach(fn);
+    }
+    /// @}
+
   private:
     Network &net_;
     NodeId id_;

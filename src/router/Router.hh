@@ -149,6 +149,13 @@ class Router
         return vnetLoad_[static_cast<std::size_t>(vnet)];
     }
 
+    /** Switch-allocation round-robin pointer of @p outport. Part of the
+     *  router's behavioral state, so state digests must include it. */
+    PortId switchRrPointer(PortId outport) const
+    {
+        return outRr_[outport];
+    }
+
   private:
     Network &net_;
     RouterId id_;

@@ -85,6 +85,9 @@ class DelayLine
     bool empty() const { return line_.empty(); }
     std::size_t size() const { return line_.size(); }
 
+    /** Drop every pending item (state restore). */
+    void clear() { line_.clear(); }
+
     /** Inspect pending items without disturbing them (audits). */
     template <typename F>
     void

@@ -1,0 +1,259 @@
+#include "verify/Scenarios.hh"
+
+#include <map>
+#include <utility>
+
+#include "common/Config.hh"
+#include "fault/FaultSchedule.hh"
+#include "network/Network.hh"
+#include "routing/RoutingAlgorithm.hh"
+#include "topology/Mesh.hh"
+#include "topology/Ring.hh"
+#include "topology/Torus.hh"
+
+namespace spin::verify
+{
+
+namespace
+{
+
+/**
+ * Always route clockwise on a ring (the tests' ClockwiseRing,
+ * re-stated here because src/ cannot depend on tests/): minimal for
+ * destinations at most n/2 hops clockwise, and its channel dependency
+ * graph is the full ring cycle, so filling the ring deadlocks
+ * deterministically.
+ */
+class CwRing : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "verify-cw-ring"; }
+    void
+    candidates(const Packet &, const Router &, RouterId,
+               std::vector<PortId> &out) const override
+    {
+        out.clear();
+        out.push_back(RingInfo::kCw);
+    }
+};
+
+/**
+ * Per-(router, destRouter) next-port table; lets a scenario wire an
+ * arbitrary dependency shape (the figure-8, disjoint torus-row loops)
+ * deterministically.
+ */
+class TableRouting : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "verify-table"; }
+
+    void
+    set(RouterId at, RouterId dest, PortId port)
+    {
+        table_[{at, dest}] = port;
+    }
+
+    void
+    candidates(const Packet &, const Router &r, RouterId target,
+               std::vector<PortId> &out) const override
+    {
+        out.clear();
+        const auto it = table_.find({r.id(), target});
+        if (it != table_.end()) {
+            out.push_back(it->second);
+            return;
+        }
+        out.push_back(net_->topo().minimalPorts(r.id(), target).front());
+    }
+
+  private:
+    std::map<std::pair<RouterId, RouterId>, PortId> table_;
+};
+
+NetworkConfig
+oneVcSpin(Cycle t_dd)
+{
+    NetworkConfig cfg;
+    cfg.vnets = 1;
+    cfg.vcsPerVnet = 1;
+    cfg.vcDepth = 5;
+    cfg.maxPacketSize = 5;
+    cfg.scheme = DeadlockScheme::Spin;
+    cfg.tDd = t_dd;
+    return cfg;
+}
+
+void
+attachRouterFault(Network &net, RouterId router, Cycle fault_cycle)
+{
+    if (fault_cycle == kNeverCycle)
+        return;
+    fault::FaultSchedule fs;
+    fault::FaultEvent ev;
+    ev.cycle = fault_cycle;
+    ev.kind = fault::FaultKind::RouterFail;
+    ev.router = router;
+    fs.events.push_back(ev);
+    net.attachFaults(std::move(fs));
+}
+
+std::unique_ptr<Network>
+buildRing4(Cycle fault_cycle)
+{
+    auto topo = std::make_shared<Topology>(makeRing(4));
+    auto net = std::make_unique<Network>(topo, oneVcSpin(32),
+                                         std::make_unique<CwRing>());
+    attachRouterFault(*net, 2, fault_cycle);
+    for (NodeId i = 0; i < 4; ++i)
+        net->offerPacket(net->makePacket(i, (i + 2) % 4, 0, 5));
+    return net;
+}
+
+std::unique_ptr<Network>
+buildShared8(Cycle)
+{
+    // 3x3 mesh, two 4-router loops sharing the center router 4 (the
+    // paper's Fig. 5b folded "8" -- shared-loop Case II):
+    //   loop A: 0 -E-> 1 -N-> 4 -W-> 3 -S-> 0
+    //   loop B: 4 -E-> 5 -N-> 8 -W-> 7 -S-> 4
+    auto topo = std::make_shared<Topology>(makeMesh(3, 3));
+    auto routing = std::make_unique<TableRouting>();
+    TableRouting *tr = routing.get();
+    const RouterId loopA[4] = {0, 1, 4, 3};
+    const RouterId loopB[4] = {4, 5, 8, 7};
+    const auto portTo = [](RouterId at, RouterId nxt) {
+        return nxt == at + 1 ? MeshInfo::kEast
+               : nxt == at - 1 ? MeshInfo::kWest
+               : nxt == at + 3 ? MeshInfo::kNorth
+               : MeshInfo::kSouth;
+    };
+    for (int k = 0; k < 4; ++k) {
+        const RouterId atA = loopA[k];
+        const PortId pA = portTo(atA, loopA[(k + 1) % 4]);
+        for (int d = 0; d < 4; ++d)
+            tr->set(atA, loopA[d], pA);
+        const RouterId atB = loopB[k];
+        const PortId pB = portTo(atB, loopB[(k + 1) % 4]);
+        for (int d = 0; d < 4; ++d) {
+            if (atB != 4 || (loopB[d] != loopA[0] && loopB[d] != loopA[1]))
+                tr->set(atB, loopB[d], pB);
+        }
+    }
+    // Router 4 serves both loops: loop A traffic goes West (the loop B
+    // pass above overwrote some of these entries).
+    for (int d = 0; d < 4; ++d)
+        tr->set(4, loopA[d], MeshInfo::kWest);
+
+    auto net = std::make_unique<Network>(topo, oneVcSpin(32),
+                                         std::move(routing));
+    for (int k = 0; k < 4; ++k) {
+        net->offerPacket(
+            net->makePacket(loopA[k], loopA[(k + 2) % 4], 0, 5));
+        if (loopB[k] != 4) // center NIC would collide with loop A's
+            net->offerPacket(
+                net->makePacket(loopB[k], loopB[(k + 2) % 4], 0, 5));
+    }
+    return net;
+}
+
+std::unique_ptr<Network>
+buildDualTorus(Cycle)
+{
+    // 4x4 torus; rows 0 (routers 0-3) and 2 (routers 8-11) each carry
+    // an eastward 4-cycle: two disjoint loops recovering concurrently.
+    auto topo = std::make_shared<Topology>(makeTorus(4, 4));
+    auto routing = std::make_unique<TableRouting>();
+    TableRouting *tr = routing.get();
+    for (const RouterId base : {0, 8}) {
+        for (int x = 0; x < 4; ++x) {
+            for (int d = 0; d < 4; ++d)
+                tr->set(base + x, base + d, MeshInfo::kEast);
+        }
+    }
+    auto net = std::make_unique<Network>(topo, oneVcSpin(16),
+                                         std::move(routing));
+    for (const RouterId base : {0, 8}) {
+        for (int x = 0; x < 4; ++x) {
+            net->offerPacket(net->makePacket(
+                base + x, base + (x + 2) % 4, 0, 5));
+        }
+    }
+    return net;
+}
+
+std::vector<Scenario>
+makeScenarios()
+{
+    std::vector<Scenario> all;
+
+    Scenario ring4;
+    ring4.name = "ring4";
+    ring4.description =
+        "4-router clockwise ring, canonical 4-packet deadlock "
+        "(independent loop)";
+    ring4.loopLen = 4;
+    ring4.offered = 4;
+    ring4.formation = 128;
+    ring4.ringSymmetry = true;
+    ring4.build = buildRing4;
+    all.push_back(std::move(ring4));
+
+    Scenario shared8;
+    shared8.name = "shared8";
+    shared8.description =
+        "3x3-mesh figure-8: two loops sharing the center router "
+        "(shared-loop Case II)";
+    shared8.loopLen = 4;
+    shared8.offered = 7;
+    shared8.formation = 160;
+    shared8.build = buildShared8;
+    all.push_back(std::move(shared8));
+
+    Scenario fault;
+    fault.name = "fault-ring4";
+    fault.description =
+        "ring4 with router 2 failing mid-recovery (fault-aborted spin); "
+        "one root per fault cycle";
+    fault.loopLen = 4;
+    fault.offered = 4;
+    fault.formation = 128;
+    // Spread across the recovery timeline: formation, detection expiry
+    // (tDd = 32 after blocking), probe/move exchange, committed spin,
+    // post-spin re-check, and a late epoch.
+    fault.faultCycles = {16, 48, 64, 80, 96, 112, 144, 176, 240, 400};
+    fault.build = buildRing4;
+    all.push_back(std::move(fault));
+
+    Scenario dual;
+    dual.name = "dual-torus8";
+    dual.description =
+        "4x4 torus, two disjoint 4-loops in rows 0 and 2 recovering "
+        "concurrently";
+    dual.loopLen = 4;
+    dual.offered = 8;
+    dual.formation = 128;
+    dual.build = buildDualTorus;
+    all.push_back(std::move(dual));
+
+    return all;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+scenarios()
+{
+    static const std::vector<Scenario> all = makeScenarios();
+    return all;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const Scenario &s : scenarios())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+} // namespace spin::verify

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bounded verification scenarios for spin_model: small networks (2-4
+ * routers per dependency loop) whose workloads deterministically form
+ * the deadlock shapes of the paper -- an independent loop, the shared-
+ * loop Case II figure-8, a fault-aborted recovery, and two disjoint
+ * simultaneous recoveries. Each scenario builds a *fresh* network per
+ * run (the checker is replay-based), and carries the parameters the
+ * explorer needs: the loop length m for the k = m*p + (m-1) liveness
+ * bound, the offered packet count for conservation, and whether the
+ * configuration is ring-rotation symmetric (digest canonicalization).
+ */
+
+#ifndef SPINNOC_VERIFY_SCENARIOS_HH
+#define SPINNOC_VERIFY_SCENARIOS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/Types.hh"
+
+namespace spin
+{
+
+class Network;
+
+namespace verify
+{
+
+/** One bounded configuration spin_model can exhaustively explore. */
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    /** Longest dependency-loop length m (hops). With minimal routing
+     *  (p = 0) the paper's bound is k = m - 1 spins. */
+    int loopLen = 0;
+    /** Packets offered at cycle 0 (flit-conservation oracle). */
+    int offered = 0;
+    /** Upper bound on deadlock-formation time, cycles. */
+    Cycle formation = 0;
+    /** Rotation-equivariant ring: canonicalize digests. */
+    bool ringSymmetry = false;
+    /**
+     * Fault-injection variants: the explorer treats each cycle here as
+     * a separate root (a RouterFail scheduled at that cycle). Empty
+     * for fault-free scenarios.
+     */
+    std::vector<Cycle> faultCycles;
+    /**
+     * Build a fresh network with the workload already offered.
+     * @p fault_cycle is kNeverCycle for the fault-free root, else one
+     * of faultCycles.
+     */
+    std::function<std::unique_ptr<Network>(Cycle fault_cycle)> build;
+};
+
+/** All shipped scenarios, in documentation order. */
+const std::vector<Scenario> &scenarios();
+
+/** Scenario by name; nullptr when unknown. */
+const Scenario *findScenario(const std::string &name);
+
+} // namespace verify
+} // namespace spin
+
+#endif // SPINNOC_VERIFY_SCENARIOS_HH

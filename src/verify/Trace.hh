@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Counterexample traces for spin_model (schema "spin-model-trace/v1").
+ *
+ * A run of the checker is fully determined by (scenario, mutation,
+ * fault cycle, perturbation list): the simulator itself is
+ * deterministic, and all nondeterminism is injected through the
+ * SpinManager's SM interceptor as explicit Delay/Drop decisions. A
+ * trace therefore *is* a replayable counterexample: feed the same
+ * RunSpec back through the engine and the violation reproduces
+ * bit-identically (spin_model --replay, and the generated regression
+ * tests under tests/traces/).
+ */
+
+#ifndef SPINNOC_VERIFY_TRACE_HH
+#define SPINNOC_VERIFY_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/Types.hh"
+#include "core/SpecialMsg.hh"
+#include "core/SpinFsm.hh"
+#include "core/SpinManager.hh"
+#include "obs/Json.hh"
+
+namespace spin::verify
+{
+
+/**
+ * One perturbation: the @p nth SM of @p type from @p sender contending
+ * for @p outport at @p cycle is delayed one cycle or dropped. All
+ * unmatched SMs are delivered normally.
+ */
+struct Choice
+{
+    Cycle cycle = 0;
+    SmType type = SmType::Probe;
+    RouterId sender = kInvalidId;
+    PortId outport = kInvalidId;
+    int nth = 0;
+    SmAction action = SmAction::Deliver;
+
+    bool operator==(const Choice &o) const;
+    /** True when this choice matches an SM send event. */
+    bool matches(const SmSend &send, Cycle now, int nth_seen) const;
+};
+
+/** Everything that determines one run. */
+struct RunSpec
+{
+    std::string scenario;
+    ProtocolMutation mutation = ProtocolMutation::None;
+    Cycle faultCycle = kNeverCycle;
+    std::vector<Choice> choices;
+};
+
+/** A violation found by the explorer, with its reproducing run. */
+struct Violation
+{
+    std::string kind;    //!< "audit", "transition", "liveness", ...
+    std::string message; //!< human-readable details
+    Cycle cycle = 0;     //!< cycle the check failed at
+    RunSpec run;
+};
+
+/// @name spin-model-trace/v1 serialization
+/// @{
+obs::JsonValue choiceToJson(const Choice &c);
+bool choiceFromJson(const obs::JsonValue &v, Choice &out,
+                    std::string &err);
+obs::JsonValue runSpecToJson(const RunSpec &r);
+bool runSpecFromJson(const obs::JsonValue &v, RunSpec &out,
+                     std::string &err);
+/** Full trace document: the run plus the violation it reproduces. */
+obs::JsonValue traceToJson(const Violation &v);
+bool traceFromJson(const obs::JsonValue &doc, Violation &out,
+                   std::string &err);
+bool traceFromFile(const std::string &path, Violation &out,
+                   std::string &err);
+bool traceToFile(const Violation &v, const std::string &path);
+/// @}
+
+} // namespace spin::verify
+
+#endif // SPINNOC_VERIFY_TRACE_HH

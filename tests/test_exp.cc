@@ -311,6 +311,21 @@ TEST(CampaignTest, ResumeFromPartialCellDirReproducesAggregate)
     fs::remove_all(dir);
 }
 
+TEST(CampaignTest, PeriodicAuditPassesOnCleanProtocol)
+{
+    // --audit wiring: the runtime auditor sampled every 16 cycles of
+    // every cell must stay silent on the unmutated protocol, and the
+    // audited aggregate must be bit-identical to the unaudited one
+    // (the auditor is read-only).
+    const SweepSpec spec = tinySpec();
+    CampaignOptions plain;
+    CampaignOptions audited;
+    audited.auditInterval = 16;
+    const std::string a = Campaign(spec, plain).run().dump(2);
+    const std::string b = Campaign(spec, audited).run().dump(2);
+    EXPECT_EQ(a, b);
+}
+
 TEST(CampaignTest, RunCellMatchesCampaignCell)
 {
     const SweepSpec spec = tinySpec();

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/SpinManager.hh"
+#include "deadlock/Invariants.hh"
 #include "deadlock/OracleDetector.hh"
 #include "tests/SpinTestUtil.hh"
 #include "topology/Mesh.hh"
@@ -261,6 +262,106 @@ TEST(SpinCorners, SmLinkContentionKeepsHigherPriorityClass)
     ASSERT_NE(l, nullptr);
     EXPECT_EQ(l->moveUses(), 1u);
     EXPECT_EQ(l->probeUses(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Counter-probe collision corners. These interleavings were found by
+// exhaustively exploring ring4 with spin_model (see docs/VERIFICATION.md)
+// and are pinned here as deterministic regressions: symmetric detection
+// launches counter-probes that collide in flight, and the rotating
+// priority filter must serialize them to a single committed spin.
+// ---------------------------------------------------------------------
+
+TEST(SpinCorners, CounterProbesSerializedByPriority)
+{
+    // All four routers block at once on the symmetric ring, so their
+    // detection timers expire together and four counter-probes chase
+    // each other around the loop. Exactly one may win per rotation.
+    auto net = ringNetwork(4, DeadlockScheme::Spin);
+    injectRingDeadlock(*net);
+    drain(*net, 4000);
+    const Stats &st = net->stats();
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+    EXPECT_GT(st.probesSent, 1u);          // the collision happened
+    EXPECT_GT(st.probeDropPriority, 0u);   // losers filtered in transit
+    EXPECT_GT(st.spins, 0u);
+    EXPECT_TRUE(auditNetwork(*net).clean());
+}
+
+TEST(SpinCorners, DelayedCounterProbeStillSerializes)
+{
+    // spin_model interleaving: hold the first probe launch back one
+    // cycle, desynchronizing the otherwise symmetric collision. The
+    // survivor changes but the outcome must not: one committed spin,
+    // full drain, no frozen leak.
+    auto net = ringNetwork(4, DeadlockScheme::Spin);
+    SpinManager *mgr = net->spinManager();
+    ASSERT_NE(mgr, nullptr);
+    int delays = 0;
+    mgr->setSmHook([&](const SmSend &send, Cycle) {
+        if (send.sm.type == SmType::Probe && delays == 0) {
+            ++delays;
+            return SmAction::Delay;
+        }
+        return SmAction::Deliver;
+    });
+    injectRingDeadlock(*net);
+    drain(*net, 4000);
+    EXPECT_EQ(delays, 1);
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+    EXPECT_GT(net->stats().spins, 0u);
+    EXPECT_TRUE(auditNetwork(*net).clean());
+}
+
+TEST(SpinCorners, DroppedProbesForceRetryUntilRecovery)
+{
+    // Lossy collision: the first six probe launches vanish outright
+    // (model action Drop). Detection must re-arm, re-probe on the next
+    // t_DD expiry, and eventually commit a spin anyway.
+    auto net = ringNetwork(4, DeadlockScheme::Spin);
+    SpinManager *mgr = net->spinManager();
+    ASSERT_NE(mgr, nullptr);
+    int drops = 0;
+    mgr->setSmHook([&](const SmSend &send, Cycle) {
+        if (send.sm.type == SmType::Probe && drops < 6) {
+            ++drops;
+            return SmAction::Drop;
+        }
+        return SmAction::Deliver;
+    });
+    injectRingDeadlock(*net);
+    drain(*net, 8000);
+    EXPECT_EQ(drops, 6);
+    EXPECT_EQ(net->packetsInFlight(), 0u);
+    EXPECT_GT(net->stats().spins, 0u);
+    EXPECT_TRUE(auditNetwork(*net).clean());
+}
+
+TEST(SpinCorners, LateOwnProbeReturnIsDroppedAsStale)
+{
+    // White-box pin of the guard the model checker leans on: a
+    // router's own probe arriving while its recovery is already in
+    // flight (MoveWait here) must be classified stale and dropped, not
+    // double-accepted (paper Sec. IV-C2, last question).
+    auto net = ringNetwork(4, DeadlockScheme::Spin);
+    SpinManager *mgr = net->spinManager();
+    ASSERT_NE(mgr, nullptr);
+    net->run(1);
+    FsmSnapshot s;
+    s.state = InitState::MoveWait;
+    mgr->unit(0).restore(s, net->now());
+
+    SpecialMsg probe;
+    probe.type = SmType::Probe;
+    probe.sender = 0;
+    probe.sendCycle = net->now();
+    probe.path = {RingInfo::kCw};
+    mgr->scheduleSend(net->now() + 1, SmSend{probe, 3, RingInfo::kCw});
+    net->run(5);
+    EXPECT_EQ(net->stats().probeDropStale, 1u);
+    EXPECT_EQ(net->stats().probesDropped, 1u);
+
+    mgr->unit(0).restore(FsmSnapshot{}, net->now());
 }
 
 TEST(SpinCorners, RecoveryLatencyIsBoundedOnSmallRing)

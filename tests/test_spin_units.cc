@@ -98,6 +98,81 @@ TEST(SpinFsm, StateNames)
     EXPECT_EQ(toString(InitState::MoveWait), "MoveWait");
 }
 
+TEST(SpinFsm, PaperStateExhaustiveOverBothContexts)
+{
+    // Every (initiator ctx x victim ctx) pair against the Fig. 4a
+    // seven-state table from the SpinFsm.hh file comment. The victim
+    // context has three equivalence classes: inactive, active for our
+    // own recovery (Case II: the initiator freezes its own VC after the
+    // move returns), and active for another router's recovery (frozen
+    // by someone else's move -- masks everything as S_Frozen).
+    const RouterId self = 2;
+    const RouterId other = 5;
+    const std::pair<InitState, SpinState> unmasked[] = {
+        {InitState::Off, SpinState::Off},
+        {InitState::DetectDeadlock, SpinState::DetectDeadlock},
+        {InitState::MoveWait, SpinState::Move},
+        {InitState::FwdProgress, SpinState::ForwardProgress},
+        {InitState::ProbeMoveWait, SpinState::ProbeMove},
+        {InitState::KillMoveWait, SpinState::KillMove},
+    };
+    for (const auto &[init, want] : unmasked) {
+        FsmSnapshot s;
+        s.state = init;
+
+        // Victim inactive: the initiator context is what the paper sees.
+        s.victimActive = false;
+        s.victimSource = kInvalidId;
+        EXPECT_EQ(s.paperState(self), want) << toString(init);
+
+        // Victim active for our own spin (Case II dual role, paper
+        // Sec. IV-C2): still not S_Frozen -- the router reports its
+        // initiator role (S_Forward_Progress while awaiting its own
+        // committed spin).
+        s.victimActive = true;
+        s.victimSource = self;
+        EXPECT_EQ(s.paperState(self), want) << toString(init) << " (own)";
+
+        // Frozen on someone else's behalf: masks every initiator state.
+        s.victimSource = other;
+        EXPECT_EQ(s.paperState(self), SpinState::Frozen)
+            << toString(init) << " (other)";
+    }
+}
+
+TEST(SpinFsm, PaperStateMatchesLiveUnitViaRestore)
+{
+    // The snapshot-level mapping above must agree with the live unit's
+    // paperState() for every restorable combination.
+    auto net = ringNetwork(4, DeadlockScheme::Spin);
+    SpinManager *mgr = net->spinManager();
+    ASSERT_NE(mgr, nullptr);
+    net->run(1); // arm nothing; just get a valid clock
+    const Cycle now = net->now();
+    SpinUnit &u = mgr->unit(1);
+
+    const InitState inits[] = {
+        InitState::Off,          InitState::DetectDeadlock,
+        InitState::MoveWait,     InitState::FwdProgress,
+        InitState::ProbeMoveWait, InitState::KillMoveWait,
+    };
+    const RouterId sources[] = {kInvalidId, 1, 3}; // inactive/own/other
+    for (const InitState init : inits) {
+        for (const RouterId src : sources) {
+            FsmSnapshot s;
+            s.state = init;
+            s.victimActive = src != kInvalidId;
+            s.victimSource = src;
+            s.spinIn = s.victimActive ? 100 : FsmSnapshot::kNever;
+            u.restore(s, now);
+            EXPECT_EQ(u.paperState(), s.paperState(1))
+                << toString(init) << " src " << src;
+        }
+    }
+    // Leave the unit clean for any later test on this fixture.
+    u.restore(FsmSnapshot{}, now);
+}
+
 TEST(SpinUnitPointer, OffUntilTrafficArrives)
 {
     auto net = ringNetwork(4, DeadlockScheme::Spin);

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two spin-model-report/v1 records (spin_model --json output).
+
+The explorer is bit-deterministic: scenarios, digests, branch
+enumeration and pruning all derive from the simulator's deterministic
+state, so the state-space shape -- runs executed, distinct canonical
+states, choice points, pruned runs, cycles simulated -- must match the
+committed baseline exactly. A drift means the protocol implementation
+(or the checker) changed behaviour; regenerate the baseline
+*deliberately* with
+
+    spin_model --budget 1 --json tools/MODEL_baseline.json
+
+and commit it alongside the change that explains it (see
+docs/VERIFICATION.md). Mirrors the check_sweep_baseline.py convention.
+
+Exit codes: 0 match, 1 drift/violation, 2 usage/IO error.
+
+Usage:
+    tools/check_model_baseline.py tools/MODEL_baseline.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "spin-model-report/v1"
+DIGEST_FIELDS = ("mutation", "budget", "runs", "statesVisited",
+                 "prunedRuns", "choicePoints", "cyclesSimulated",
+                 "exhausted")
+
+
+def load(path):
+    """Read one report, exiting 2 with a clear message on IO/JSON
+    problems (a missing baseline is a setup error, not a drift)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_model_baseline: cannot read {path}: {e}",
+              file=sys.stderr)
+        print("Generate the baseline with "
+              "'spin_model --budget 1 --json <path>' "
+              "(see docs/VERIFICATION.md).", file=sys.stderr)
+        sys.exit(2)
+    except ValueError as e:
+        print(f"check_model_baseline: {path} is not valid JSON: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        print(f"check_model_baseline: {path}: schema is "
+              f"{doc.get('schema') if isinstance(doc, dict) else doc!r}, "
+              f"want {SCHEMA!r}", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def rows(doc, name):
+    got = doc.get("scenarios")
+    if not isinstance(got, list):
+        print(f"check_model_baseline: {name}: 'scenarios' must be an "
+              f"array, got {type(got).__name__}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for i, row in enumerate(got):
+        if not isinstance(row, dict) or "scenario" not in row:
+            print(f"check_model_baseline: {name}: scenarios[{i}] has no "
+                  "'scenario' key", file=sys.stderr)
+            sys.exit(2)
+        out[row["scenario"]] = row
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Gate a spin_model run against the committed "
+                    "MODEL_baseline.json state-space shape.")
+    ap.add_argument("baseline", help="committed baseline report")
+    ap.add_argument("candidate", help="freshly generated report")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    brows = rows(base, args.baseline)
+    crows = rows(cand, args.candidate)
+
+    errors = []
+    if not cand.get("clean", False):
+        errors.append("candidate report is not clean (violations found)")
+    for missing in sorted(brows.keys() - crows.keys()):
+        errors.append(f"scenario missing from candidate: {missing}")
+    for extra in sorted(crows.keys() - brows.keys()):
+        errors.append(f"scenario not in baseline: {extra}")
+    for name in sorted(brows.keys() & crows.keys()):
+        b, c = brows[name], crows[name]
+        for field in DIGEST_FIELDS:
+            if b.get(field) != c.get(field):
+                errors.append(f"{name}: {field} drifted "
+                              f"{b.get(field)!r} -> {c.get(field)!r}")
+        if c.get("violations"):
+            errors.append(f"{name}: {len(c['violations'])} violation(s)")
+
+    if errors:
+        print(f"FAIL: {len(errors)} mismatch(es) vs {args.baseline}:")
+        for e in errors:
+            print(f"  {e}")
+        print("If the protocol change is intentional, regenerate the "
+              "baseline (see docs/VERIFICATION.md) and commit it.")
+        return 1
+
+    total_states = sum(c.get("statesVisited", 0) for c in crows.values())
+    total_runs = sum(c.get("runs", 0) for c in crows.values())
+    print(f"OK: {len(brows)} scenarios match the baseline shape "
+          f"({total_runs} runs, {total_states} states, all clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

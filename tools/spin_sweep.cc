@@ -57,6 +57,9 @@ usage()
            "                     simulated cell (docs/OBSERVABILITY.md)\n"
            "  --metrics-interval N  metrics window in cycles (default\n"
            "                     256)\n"
+           "  --audit N          run the invariant auditor every N\n"
+           "                     cycles in every cell; fail fast with a\n"
+           "                     spin-audit/v1 report on violation\n"
            "  --profile          per-phase wall-clock attribution\n"
            "  --live             single-line progress meter on stderr\n"
            "                     (auto when stderr is a TTY)\n"
@@ -127,7 +130,7 @@ main(int argc, char **argv)
     std::string specArg, outDir, jsonPath, benchJsonPath, faultsPath;
     std::string metricsPath;
     std::uint64_t jobs = 1, warmup = 0, measure = 0;
-    std::uint64_t metricsInterval = 256;
+    std::uint64_t metricsInterval = 256, auditInterval = 0;
     bool warmupSet = false, measureSet = false;
     bool fast = false, resume = false, progress = false, live = false;
     bool profile = false;
@@ -148,6 +151,7 @@ main(int argc, char **argv)
         argStr("--faults", &faultsPath),
         argStr("--metrics", &metricsPath),
         argU64("--metrics-interval", &metricsInterval),
+        argU64("--audit", &auditInterval),
         argFlag("--profile", &profile),
         argFlag("--live", &live),
         argFlag("--progress", &progress),
@@ -206,6 +210,7 @@ main(int argc, char **argv)
     copt.progress = progress;
     copt.metricsPath = metricsPath;
     copt.metricsInterval = metricsInterval;
+    copt.auditInterval = auditInterval;
     copt.profile = profile;
     // The meter is for humans: auto-enable on a TTY unless per-cell
     // logging was requested, which it would overwrite.
