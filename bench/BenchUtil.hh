@@ -64,6 +64,10 @@ struct Options
      *  violation fails the bench fast with a spin-audit/v1 report. */
     Cycle auditInterval = 0;
     bool profile = false;
+    /** Threads inside each simulated network's step() (--threads).
+     *  Results are bit-identical for any value (docs/SCALING.md), so
+     *  this is an execution knob and never lands in the JSON export. */
+    std::uint64_t threads = 1;
 
     static const char *
     usage()
@@ -86,6 +90,9 @@ struct Options
                "cycles;\n"
                "                 fail fast with a spin-audit/v1 report\n"
                "  --profile      per-phase wall-clock attribution\n"
+               "  --threads N    threads inside each simulated network\n"
+               "                 (default 1; bit-identical results for "
+               "any N)\n"
                "  --help         this message\n";
     }
 
@@ -109,6 +116,7 @@ struct Options
             exp::argU64("--metrics-interval", &o.metricsInterval),
             exp::argU64("--audit", &o.auditInterval),
             exp::argFlag("--profile", &o.profile),
+            exp::argU64("--threads", &o.threads),
             exp::argFlag("--fast", &o.fast),
         };
         if (!exp::parseArgs(argc, argv, specs, err))
@@ -141,12 +149,22 @@ struct Options
         return o;
     }
 
-    /** Apply CLI overrides (--seed) to a preset before building. */
+    /** Apply CLI overrides (--seed, --threads) to a raw config before
+     *  building (for benches that assemble their own NetworkConfig). */
+    void
+    apply(NetworkConfig &cfg) const
+    {
+        if (seedSet)
+            cfg.seed = seed;
+        cfg.threads = threads > 0 ? static_cast<int>(threads) : 1;
+    }
+
+    /** Apply CLI overrides (--seed, --threads) to a preset before
+     *  building. */
     void
     apply(ConfigPreset &p) const
     {
-        if (seedSet)
-            p.cfg.seed = seed;
+        apply(p.cfg);
     }
 };
 
@@ -237,17 +255,21 @@ sweep(const ConfigPreset &preset,
       const std::function<void(Network &)> &instrument = {})
 {
     SweepResult res;
+    // Fold the CLI execution overrides (--seed, --threads) into the
+    // preset once; every point of the sweep runs the same config.
+    ConfigPreset p0 = preset;
+    opt.apply(p0);
     int past_saturation = 0;
     for (const double rate : rates) {
         if (past_saturation >= 2)
             break;
-        auto net = preset.build(topo);
+        auto net = p0.build(topo);
         if (instrument)
             instrument(*net);
         {
             char lbl[192];
             std::snprintf(lbl, sizeof(lbl), "%s|%s|%.3f",
-                          preset.name.c_str(),
+                          p0.name.c_str(),
                           toString(pattern).c_str(), rate);
             attachMetrics(*net, opt, lbl);
         }
@@ -263,7 +285,7 @@ sweep(const ConfigPreset &preset,
         }
         InjectorConfig icfg;
         icfg.injectionRate = rate;
-        icfg.seed = preset.cfg.seed + 1;
+        icfg.seed = p0.cfg.seed + 1;
         SyntheticInjector inj(*net, pattern, icfg);
         // --audit N: sample the runtime invariant auditor (the same
         // oracle spin_model applies per cycle) and fail the bench fast

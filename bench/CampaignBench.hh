@@ -47,7 +47,10 @@ inline const char *
 campaignUsage()
 {
     return "options:\n"
-           "  -j, --jobs N    worker threads (default 1)\n"
+           "  -j, --jobs N    worker threads, one cell each (default 1)\n"
+           "  -t, --threads N threads inside each cell's simulation\n"
+           "                  (default 1; results bit-identical for any\n"
+           "                  value, docs/SCALING.md)\n"
            "  --warmup N      override the spec's warmup window\n"
            "  --measure N     override the spec's measure window\n"
            "  --fast          quarter-scale warmup/measure\n"
@@ -88,7 +91,8 @@ runCampaignMain(const char *banner,
                 const std::vector<std::string> &specNames,
                 CampaignReport report, int argc, char **argv)
 {
-    std::uint64_t jobs = 1, warmup = 0, measure = 0, seed = 0;
+    std::uint64_t jobs = 1, threads = 1, warmup = 0, measure = 0,
+                  seed = 0;
     std::uint64_t metricsInterval = 256, auditInterval = 0;
     bool warmupSet = false, measureSet = false, seedSet = false;
     bool fast = false, resume = false, progress = false, live = false;
@@ -99,6 +103,8 @@ runCampaignMain(const char *banner,
     const std::vector<exp::ArgSpec> specs = {
         exp::argU64("-j", &jobs),
         exp::argU64("--jobs", &jobs),
+        exp::argU64("-t", &threads),
+        exp::argU64("--threads", &threads),
         exp::argU64("--warmup", &warmup, &warmupSet),
         exp::argU64("--measure", &measure, &measureSet),
         exp::argFlag("--fast", &fast),
@@ -159,6 +165,7 @@ runCampaignMain(const char *banner,
 
         exp::CampaignOptions copt;
         copt.jobs = static_cast<int>(jobs);
+        copt.threads = static_cast<int>(threads);
         copt.resume = resume;
         copt.progress = progress;
         copt.live = live || (!progress && isatty(fileno(stderr)) != 0);

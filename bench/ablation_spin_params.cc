@@ -38,7 +38,7 @@ class Clockwise : public RoutingAlgorithm
 };
 
 Cycle
-ringRecoveryTime(Cycle t_dd, Cycle probe_move_delay)
+ringRecoveryTime(Cycle t_dd, Cycle probe_move_delay, const Options &opt)
 {
     auto topo = std::make_shared<Topology>(makeRing(8));
     NetworkConfig cfg;
@@ -49,6 +49,7 @@ ringRecoveryTime(Cycle t_dd, Cycle probe_move_delay)
     cfg.scheme = DeadlockScheme::Spin;
     cfg.tDd = t_dd;
     cfg.probeMoveDelay = probe_move_delay;
+    opt.apply(cfg);
     Network net(topo, cfg, std::make_unique<Clockwise>());
     for (NodeId i = 0; i < 8; ++i)
         net.offerPacket(net.makePacket(i, (i + 3) % 8, 0, 5));
@@ -59,7 +60,7 @@ ringRecoveryTime(Cycle t_dd, Cycle probe_move_delay)
 }
 
 double
-meshThroughput(Cycle t_dd, Cycle measure)
+meshThroughput(Cycle t_dd, Cycle measure, const Options &opt)
 {
     auto topo = std::make_shared<Topology>(makeMesh(8, 8));
     NetworkConfig cfg;
@@ -69,6 +70,7 @@ meshThroughput(Cycle t_dd, Cycle measure)
     cfg.maxPacketSize = 5;
     cfg.scheme = DeadlockScheme::Spin;
     cfg.tDd = t_dd;
+    opt.apply(cfg);
     auto net = buildNetwork(topo, cfg, RoutingKind::FavorsMin);
     InjectorConfig icfg;
     icfg.injectionRate = 0.25; // around the 1-VC knee: deadlock-prone
@@ -101,8 +103,8 @@ main(int argc, char **argv)
     std::printf("%8s %26s %28s\n", "t_DD", "8-ring recovery (cycles)",
                 "mesh thru @0.25 bit-reverse");
     for (const Cycle t_dd : {16, 32, 64, 128, 256}) {
-        const Cycle rec = ringRecoveryTime(t_dd, 8);
-        const double thr = meshThroughput(t_dd, measure);
+        const Cycle rec = ringRecoveryTime(t_dd, 8, opt);
+        const double thr = meshThroughput(t_dd, measure, opt);
         std::printf("%8llu %26llu %28.3f\n",
                     static_cast<unsigned long long>(t_dd),
                     static_cast<unsigned long long>(rec), thr);
@@ -119,7 +121,7 @@ main(int argc, char **argv)
     std::printf("\n=== Ablation 2: probeMoveDelay (t_DD = 32) ===\n");
     std::printf("%8s %26s\n", "delay", "8-ring recovery (cycles)");
     for (const Cycle d : {1, 4, 8, 16, 32}) {
-        const Cycle rec = ringRecoveryTime(32, d);
+        const Cycle rec = ringRecoveryTime(32, d, opt);
         std::printf("%8llu %26llu\n",
                     static_cast<unsigned long long>(d),
                     static_cast<unsigned long long>(rec));

@@ -34,8 +34,7 @@ deadlocks(const std::shared_ptr<const Topology> &topo, RoutingKind kind,
     cfg.vcDepth = 5;
     cfg.maxPacketSize = 5;
     cfg.scheme = DeadlockScheme::None;
-    if (opt.seedSet)
-        cfg.seed = opt.seed;
+    opt.apply(cfg);
     auto net = buildNetwork(topo, cfg, kind);
     {
         char lbl[96];

@@ -89,6 +89,8 @@ main(int argc, char **argv)
     spin2.cfg.name = "MinAdaptive_2VC_SPIN";
     spin2.cfg.vcsPerVnet = 2;
     spin2.cfg.scheme = DeadlockScheme::Spin;
+    opt.apply(escape);
+    opt.apply(spin2);
 
     std::printf("=== Fig. 8a: network EDP on application-style traffic "
                 "(normalized to EscapeVC_3VC) ===\n");

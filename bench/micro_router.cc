@@ -11,6 +11,7 @@
 #include "bench/BenchUtil.hh"
 #include "topology/Dragonfly.hh"
 #include "topology/Mesh.hh"
+#include "topology/Torus.hh"
 
 using namespace spin;
 using namespace spin::bench;
@@ -89,6 +90,41 @@ BM_DragonflyStep(benchmark::State &state)
 }
 BENCHMARK(BM_DragonflyStep)->Arg(1)->Arg(15)
     ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Sharded-step scaling on the 1024-router torus (docs/SCALING.md):
+ * the arg is the `threads` value, so CI's BENCH_sweep.json records a
+ * cells/sec row per thread count and the t4/t1 ratio is the scaling
+ * evidence. Uniform random at 0.30 keeps every shard busy without
+ * saturating, which is where the barrier overhead would hide.
+ */
+void
+BM_TorusStepThreads(benchmark::State &state)
+{
+    auto topo = std::make_shared<Topology>(makeTorus(32, 32));
+    ConfigPreset preset = meshPresets3Vc()[3]; // MinAdaptive+SPIN
+    preset.cfg.threads = static_cast<int>(state.range(0));
+    auto net = preset.build(topo);
+    InjectorConfig icfg;
+    icfg.injectionRate = 0.30;
+    SyntheticInjector inj(*net, Pattern::UniformRandom, icfg);
+    for (int i = 0; i < 300; ++i) { // settle
+        inj.tick();
+        net->step();
+    }
+    for (auto _ : state) {
+        inj.tick();
+        net->step();
+    }
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(state.iterations()),
+                           benchmark::Counter::kIsRate);
+    state.counters["threads"] =
+        benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_TorusStepThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void
 BM_BuildMesh(benchmark::State &state)

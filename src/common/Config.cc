@@ -35,6 +35,8 @@ NetworkConfig::validate() const
         SPIN_FATAL("tDd must be >= 1, got ", tDd);
     if (scheme == DeadlockScheme::Spin && epochMultiplier < 2)
         SPIN_FATAL("epochMultiplier must be >= 2, got ", epochMultiplier);
+    if (threads < 1)
+        SPIN_FATAL("threads must be >= 1, got ", threads);
     if (scheme == DeadlockScheme::StaticBubble && vcsPerVnet < 2) {
         SPIN_FATAL("static bubble reserves one VC per vnet and needs "
                    "vcsPerVnet >= 2, got ", vcsPerVnet);

@@ -85,6 +85,15 @@ struct NetworkConfig
     /** Master RNG seed. */
     std::uint64_t seed = 1;
 
+    /**
+     * Host worker threads stepping this network (the deterministic
+     * sharded step loop, docs/SCALING.md). Purely a host-side
+     * execution knob: results -- stats, metrics streams, traces -- are
+     * bit-identical for any value. Clamped to the router count at
+     * network construction.
+     */
+    int threads = 1;
+
     /** Total VCs per input port. */
     int totalVcs() const { return vnets * vcsPerVnet; }
 

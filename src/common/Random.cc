@@ -32,6 +32,15 @@ Random::Random(std::uint64_t seed)
 }
 
 std::uint64_t
+Random::streamSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t x = seed;
+    (void)splitmix64(x);
+    x ^= 0x9e3779b97f4a7c15ULL * (stream + 1);
+    return splitmix64(x);
+}
+
+std::uint64_t
 Random::next()
 {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;

@@ -27,6 +27,16 @@ class Random
     /** Seed the generator; equal seeds give equal streams. */
     explicit Random(std::uint64_t seed = 1);
 
+    /**
+     * Derive the seed of independent substream @p stream of master
+     * seed @p seed (splitmix64 finalizer over both words). Used to give
+     * every router its own generator so adaptive tie-breaks draw from
+     * per-router streams -- the order routers execute in (and hence the
+     * step loop's thread count) then cannot change any draw.
+     */
+    static std::uint64_t streamSeed(std::uint64_t seed,
+                                    std::uint64_t stream);
+
     /** @return next raw 64-bit value. */
     std::uint64_t next();
 

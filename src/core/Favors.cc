@@ -56,10 +56,12 @@ FavorsNonMinimal::sourceRoute(Packet &pkt, RouterId src)
 
     // A single random intermediate candidate spreads detour traffic
     // uniformly and avoids routing hotspots (paper Sec. V).
+    // The source router's private stream keeps the draw order fixed
+    // under the sharded (multi-threaded) injection phase.
     RouterId inter = kInvalidId;
     for (int tries = 0; tries < 8; ++tries) {
         const RouterId cand =
-            static_cast<RouterId>(net_->rng().below(topo.numRouters()));
+            static_cast<RouterId>(r.rng().below(topo.numRouters()));
         if (cand != src && cand != dst) {
             inter = cand;
             break;

@@ -29,11 +29,18 @@ namespace
  *  A fixed fault schedule changes every cell's behaviour, so it is part
  *  of the fingerprint even though it lives outside the spec. */
 std::string
-specFingerprint(const SweepSpec &spec, const fault::FaultSchedule &faults)
+specFingerprint(const SweepSpec &spec, const fault::FaultSchedule &faults,
+                int threads)
 {
     std::string text = spec.toJson().dump(0);
     if (!faults.empty())
         text += faults.toJson().dump(0);
+    // Intra-cell threading cannot change results (docs/SCALING.md),
+    // but mixing caches across thread counts would mask a determinism
+    // regression, so a non-default count taints the fingerprint. The
+    // default stays unfolded to keep existing caches valid.
+    if (threads != 1)
+        text += "threads=" + std::to_string(threads);
     std::uint64_t h = 0xcbf29ce484222325ull;
     for (const char c : text) {
         h ^= static_cast<unsigned char>(c);
@@ -74,6 +81,10 @@ Campaign::Campaign(SweepSpec spec, CampaignOptions opt)
         opt_.jobs = 1;
     if (opt_.jobs > 64)
         opt_.jobs = 64;
+    if (opt_.threads < 1)
+        opt_.threads = 1;
+    if (opt_.threads > 64)
+        opt_.threads = 64;
 }
 
 obs::JsonValue
@@ -86,6 +97,7 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
     SPIN_ASSERT(reg, "cell references unknown preset ", cell.preset);
     ConfigPreset preset = *reg;
     preset.cfg.seed = cell.netSeed;
+    preset.cfg.threads = capture.threads > 0 ? capture.threads : 1;
 
     auto net = preset.build(topo);
     InjectorConfig icfg;
@@ -223,7 +235,8 @@ Campaign::loadCached(const Cell &cell) const
     const obs::JsonValue *stats = doc.find("stats");
     if (!id || !id->isString() || id->asString() != cell.id || !fp ||
         !fp->isString() ||
-        fp->asString() != specFingerprint(spec_, opt_.faultSchedule) ||
+        fp->asString() !=
+            specFingerprint(spec_, opt_.faultSchedule, opt_.threads) ||
         !stats || !stats->isObject()) {
         return {};
     }
@@ -264,7 +277,7 @@ Campaign::run()
     perf_.cells = cells.size();
     std::vector<obs::JsonValue> results(cells.size());
     const std::string fingerprint =
-        specFingerprint(spec_, opt_.faultSchedule);
+        specFingerprint(spec_, opt_.faultSchedule, opt_.threads);
     const fault::FaultSchedule *extraFaults =
         opt_.faultSchedule.empty() ? nullptr : &opt_.faultSchedule;
 
@@ -283,6 +296,7 @@ Campaign::run()
         if (opt_.resume && !opt_.cellDir.empty()) {
             obs::JsonValue cached = loadCached(cell);
             if (cached.isObject()) {
+                cached.remove("specFingerprint"); // cache metadata
                 results[cell.index] = std::move(cached);
                 ++perf_.cellsCached;
                 continue;
@@ -318,6 +332,7 @@ Campaign::run()
             busy.fetch_add(1);
             try {
                 CellCapture capture;
+                capture.threads = opt_.threads;
                 if (wantMetrics) {
                     capture.metricsInterval = opt_.metricsInterval;
                     capture.metricsOut = &metricsLines[cell.index];
@@ -338,6 +353,11 @@ Campaign::run()
                     std::lock_guard<std::mutex> lock(profMutex);
                     profile_.merge(cellProfile);
                 }
+                // The fingerprint is cache metadata: it lands in the
+                // cell file (loadCached validates against it) but
+                // never in the aggregate, which must stay
+                // bit-identical across knobs the fingerprint folds in
+                // (e.g. --threads).
                 r.set("specFingerprint", obs::JsonValue(fingerprint));
                 if (!opt_.cellDir.empty() && !storeCell(cell, r)) {
                     std::lock_guard<std::mutex> lock(errMutex);
@@ -345,6 +365,7 @@ Campaign::run()
                         firstError =
                             "cannot write cell file " + cellPath(cell);
                 }
+                r.remove("specFingerprint");
                 results[cell.index] = std::move(r);
                 cycles.fetch_add(spec_.warmup + spec_.measure);
                 const std::size_t n = done.fetch_add(1) + 1;

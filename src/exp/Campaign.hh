@@ -37,8 +37,18 @@ namespace spin::exp
 /** Runner knobs (everything outside the deterministic spec). */
 struct CampaignOptions
 {
-    /** Worker threads; clamped to [1, 64]. 1 runs inline. */
+    /** Worker threads pulling whole cells; clamped to [1, 64].
+     *  1 runs inline. */
     int jobs = 1;
+    /**
+     * Worker threads inside each cell's Network::step() (spin_sweep
+     * --threads; docs/SCALING.md). Orthogonal to `jobs`: jobs spreads
+     * cells across cores, threads spreads one simulation. Results are
+     * bit-identical for any value; the resume fingerprint still folds
+     * a non-default value in, so caches produced under different
+     * intra-cell parallelism are never silently mixed.
+     */
+    int threads = 1;
     /** Per-cell result directory; empty disables cell files + resume. */
     std::string cellDir;
     /** Reuse existing per-cell files instead of re-simulating. */
@@ -124,6 +134,9 @@ struct CellCapture
     /** Destination for the failure report; empty keeps it in the
      *  exception message only. */
     std::string auditReportPath;
+    /** Threads inside the cell's Network::step()
+     *  (CampaignOptions::threads). */
+    int threads = 1;
 };
 
 /** See file comment. */

@@ -582,6 +582,16 @@ const BuiltinSpecText kBuiltins[] = {
          "seeds": [1, 2],
          "faults": [0, 2, 4], "faultCycle": 200,
          "warmup": 300, "measure": 700, "latencyCap": 400.0})"},
+    // Thread-scaling gate: one large-topology cell (1024 routers, the
+    // size docs/SCALING.md quotes speedups for). CI runs it twice,
+    // --threads 1 and --threads 4, and diffs the aggregates; a perf
+    // row lands in BENCH_sweep.json via micro_router as well.
+    {"scaling-torus32",
+     R"({"name": "scaling-torus32", "topology": "torus32x32",
+         "presets": ["MinAdaptive_3VC_SPIN"],
+         "patterns": ["uniform-random"],
+         "rates": [0.10, 0.30],
+         "warmup": 200, "measure": 600, "latencyCap": 1e9})"},
 };
 
 } // namespace

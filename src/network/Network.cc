@@ -12,9 +12,38 @@
 #include "obs/Profiler.hh"
 #include "obs/Tracer.hh"
 #include "routing/RoutingAlgorithm.hh"
+#include "sim/Parallel.hh"
 
 namespace spin
 {
+
+thread_local StepShard *tlsStepShard = nullptr;
+
+namespace
+{
+
+/** Installs shard staging (stats + trace redirection) for the duration
+ *  of one shard's work on the current thread. RAII so a FatalError
+ *  thrown inside a shard never leaks the redirection into later
+ *  serial code on this thread. */
+class ShardScope
+{
+  public:
+    explicit ShardScope(StepShard &sh)
+    {
+        tlsStepShard = &sh;
+        obs::Tracer::stageInto(&sh.events);
+    }
+    ~ShardScope()
+    {
+        obs::Tracer::stageInto(nullptr);
+        tlsStepShard = nullptr;
+    }
+    ShardScope(const ShardScope &) = delete;
+    ShardScope &operator=(const ShardScope &) = delete;
+};
+
+} // namespace
 
 Network::Network(std::shared_ptr<const Topology> topo,
                  const NetworkConfig &cfg,
@@ -80,6 +109,40 @@ Network::Network(std::shared_ptr<const Topology> topo,
         for (RouterId r = 0; r < nr; ++r)
             bubbles_.push_back(std::make_unique<StaticBubbleUnit>(*this, r));
     }
+
+    // Shard tables for the parallel step phases (docs/SCALING.md).
+    // Shards are contiguous router-id ranges, so committing staged
+    // side effects in shard order reproduces the serial router
+    // iteration order exactly -- that identity is what makes results
+    // bit-identical for every thread count. The tables are built even
+    // for the serial case (one shard spanning everything) so both
+    // paths walk the same canonical orders.
+    threads_ = cfg_.threads > nr ? nr : cfg_.threads;
+    shardLo_.resize(static_cast<std::size_t>(threads_) + 1);
+    for (int s = 0; s <= threads_; ++s)
+        shardLo_[s] = static_cast<RouterId>(
+            static_cast<std::int64_t>(nr) * s / threads_);
+    shardFlitLinks_.assign(threads_, {});
+    shardCreditLinks_.assign(threads_, {});
+    shardNics_.assign(threads_, {});
+    for (int s = 0; s < threads_; ++s) {
+        for (RouterId r = shardLo_[s]; r < shardLo_[s + 1]; ++r) {
+            for (const std::int32_t li : inIdx_[r]) {
+                if (li >= 0)
+                    shardFlitLinks_[s].push_back(li);
+            }
+            for (const std::int32_t li : outIdx_[r]) {
+                if (li >= 0)
+                    shardCreditLinks_[s].push_back(li);
+            }
+            for (const NodeId n : topo_->nodesAt(r))
+                shardNics_[s].push_back(n);
+        }
+    }
+    if (threads_ > 1) {
+        shards_.resize(threads_);
+        exec_ = std::make_unique<StepExecutor>(threads_);
+    }
 }
 
 Network::~Network() = default;
@@ -97,22 +160,17 @@ Network::step()
         faults_->tick(now);
     }
 
-    // 1. Wire arrivals.
+    // 1. Wire arrivals. Sharded: each link's flit queue is drained by
+    // the shard owning its destination router and its credit queue by
+    // the shard owning its source router, so every piece of router
+    // state keeps a single writer. Eject wires stay serial below:
+    // tail retirement allocates packet ids through the eject listener
+    // and needs one canonical (node-id) order.
     {
         obs::PhaseScope ps(prof, obs::Phase::Wires);
-        for (Link &l : links_) {
-            l.drainFlitsInto(now, [&](LinkFlit &lf) {
-                routers_[l.spec().dst]->receiveFlit(l.spec().dstPort,
-                                                    lf.vc,
-                                                    std::move(lf.flit));
-            });
-            l.drainCreditsInto(now, [&](const CreditMsg &c) {
-                routers_[l.spec().src]->receiveCredit(l.spec().srcPort,
-                                                      c.vc, c.isFree);
-            });
-        }
+        runSharded([this, now](int s) { drainWiresShard(s, now); });
         for (auto &np : nics_)
-            np->drainWires(now);
+            np->drainEjectWire(now);
     }
 
     // 2-3. SPIN phases.
@@ -132,34 +190,45 @@ Network::step()
             bp->tick(now);
     }
 
-    // 5. Injection.
+    // 5. Injection. Sharded: a NIC touches only its own wires, its own
+    // tracker, and its attachment router's shard (source-routing draws
+    // come from the attachment router's private rng stream).
     {
         obs::PhaseScope ps(prof, obs::Phase::Injection);
-        for (auto &np : nics_)
-            np->injectStep(now);
+        runSharded([this, now](int s) {
+            for (const NodeId n : shardNics_[s])
+                nics_[n]->injectStep(now);
+        });
     }
 
     // 6-7. Route compute, VC allocation, switch allocation. A router
     // with no buffered flit provably does nothing in either phase
     // (every VC is empty, so route compute, allocation and the
     // round-robin pointers are untouched) -- skipping it is exactly
-    // behavior-preserving and makes low-load cycles cheap. Iteration
-    // stays in router-ID order so adaptive-routing decisions that read
-    // neighbor state are unchanged.
-    const int nr = static_cast<int>(routers_.size());
+    // behavior-preserving and makes low-load cycles cheap. Both phases
+    // write only router-local state; what they read of other routers
+    // (credit counts, load) is mutated by other phases, never this
+    // one, so within-phase order is immaterial and the shards can run
+    // concurrently.
     {
         obs::PhaseScope ps(prof, obs::Phase::Routing);
-        for (RouterId r = 0; r < nr; ++r) {
-            if (routerLoad_[r] != 0)
-                routers_[r]->computeRoutes();
-        }
+        runSharded([this](int s) {
+            const RouterId hi = shardLo_[s + 1];
+            for (RouterId r = shardLo_[s]; r < hi; ++r) {
+                if (routerLoad_[r] != 0)
+                    routers_[r]->computeRoutes();
+            }
+        });
     }
     {
         obs::PhaseScope ps(prof, obs::Phase::SwitchAlloc);
-        for (RouterId r = 0; r < nr; ++r) {
-            if (routerLoad_[r] != 0)
-                routers_[r]->allocateSwitch();
-        }
+        runSharded([this](int s) {
+            const RouterId hi = shardLo_[s + 1];
+            for (RouterId r = shardLo_[s]; r < hi; ++r) {
+                if (routerLoad_[r] != 0)
+                    routers_[r]->allocateSwitch();
+            }
+        });
     }
 
     // 8. SPIN timers.
@@ -187,6 +256,64 @@ Network::run(Cycle cycles)
 {
     for (Cycle i = 0; i < cycles; ++i)
         step();
+}
+
+void
+Network::runSharded(const std::function<void(int)> &fn)
+{
+    if (!exec_) {
+        // Serial: no staging, no commit. Identical results by
+        // construction -- one shard walks the same canonical orders
+        // the concatenated shards do.
+        fn(0);
+        return;
+    }
+    exec_->run([this, &fn](int s) {
+        ShardScope scope(shards_[static_cast<std::size_t>(s)]);
+        fn(s);
+    });
+    commitShards();
+}
+
+void
+Network::commitShards()
+{
+    for (StepShard &sh : shards_) {
+        stats_.mergeFrom(sh.stats);
+        sh.stats = Stats();
+        SPIN_ASSERT(inFlight_ >= sh.lost, "loss without matching offer");
+        inFlight_ -= sh.lost;
+        sh.lost = 0;
+        if (tracer_) {
+            // Replay through record() on this (coordinating) thread:
+            // filters apply here, and sink output lands in shard
+            // order, i.e. exactly the serial emission order.
+            for (const obs::TraceEvent &e : sh.events)
+                tracer_->record(e);
+        }
+        sh.events.clear();
+    }
+}
+
+void
+Network::drainWiresShard(int s, Cycle now)
+{
+    for (const std::int32_t li : shardFlitLinks_[s]) {
+        Link &l = links_[li];
+        l.drainFlitsInto(now, [&](LinkFlit &lf) {
+            routers_[l.spec().dst]->receiveFlit(l.spec().dstPort, lf.vc,
+                                                std::move(lf.flit));
+        });
+    }
+    for (const std::int32_t li : shardCreditLinks_[s]) {
+        Link &l = links_[li];
+        l.drainCreditsInto(now, [&](const CreditMsg &c) {
+            routers_[l.spec().src]->receiveCredit(l.spec().srcPort, c.vc,
+                                                  c.isFree);
+        });
+    }
+    for (const NodeId n : shardNics_[s])
+        nics_[n]->drainArrivalWires(now);
 }
 
 Link *
@@ -264,8 +391,14 @@ Network::notifyEjected(const PacketPtr &pkt)
 void
 Network::notifyLost(const PacketPtr &pkt)
 {
-    SPIN_ASSERT(inFlight_ > 0, "loss without matching offer");
     (void)pkt;
+    if (StepShard *const sh = tlsStepShard) {
+        // Parallel phase: stage the retirement; commitShards()
+        // validates against the master in-flight count.
+        ++sh->lost;
+        return;
+    }
+    SPIN_ASSERT(inFlight_ > 0, "loss without matching offer");
     --inFlight_;
 }
 

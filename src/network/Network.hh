@@ -31,6 +31,7 @@
 #include "network/Link.hh"
 #include "network/Nic.hh"
 #include "obs/Samplers.hh"
+#include "obs/TraceEvent.hh"
 #include "router/Router.hh"
 #include "sim/Clock.hh"
 #include "stats/Stats.hh"
@@ -59,6 +60,29 @@ struct FaultSchedule;
 class RoutingAlgorithm;
 class SpinManager;
 class StaticBubbleUnit;
+class StepExecutor;
+
+/**
+ * Per-thread staging for the parallel phases of Network::step(): each
+ * worker redirects its cross-shard side effects (statistics, trace
+ * events, in-flight retirements) here and the coordinator commits the
+ * buffers in shard order at the phase barrier, so merged output is
+ * bit-identical for any thread count (docs/SCALING.md).
+ */
+struct StepShard
+{
+    /** Counter deltas of this shard's phase; merged via
+     *  Stats::mergeFrom, then zeroed. */
+    Stats stats;
+    /** Raw trace events in shard-local emission order. */
+    std::vector<obs::TraceEvent> events;
+    /** Packets retired without ejecting (Network::notifyLost). */
+    std::uint64_t lost = 0;
+};
+
+/** Installed while a worker executes a shard; redirects
+ *  Network::stats() and Network::notifyLost() into the shard. */
+extern thread_local StepShard *tlsStepShard;
 
 /** Aggregate link-utilization summary (Fig. 8b). */
 struct LinkUsage
@@ -114,8 +138,22 @@ class Network
     RoutingAlgorithm &routing() { return *routing_; }
     const RoutingAlgorithm &routing() const { return *routing_; }
     Random &rng() { return rng_; }
-    Stats &stats() { return stats_; }
+    /** Statistics accumulator. During a parallel phase of the sharded
+     *  step loop each worker sees its own staging Stats (committed in
+     *  shard order at the barrier); everywhere else this is the master
+     *  accumulator. */
+    Stats &
+    stats()
+    {
+        StepShard *const sh = tlsStepShard;
+        return sh != nullptr ? sh->stats : stats_;
+    }
+    /** Master accumulator; only meaningful between phases. */
     const Stats &stats() const { return stats_; }
+    /** Worker threads driving step(); 1 = serial (clamped to the
+     *  router count at construction). Results are bit-identical for
+     *  any value (docs/SCALING.md). */
+    int threads() const { return threads_; }
     /** SPIN manager; nullptr unless cfg.scheme == Spin. */
     SpinManager *spinManager() { return spinMgr_.get(); }
     /// @}
@@ -261,6 +299,41 @@ class Network
     PacketId nextPacketId_ = 1;
     std::uint64_t inFlight_ = 0;
     Cycle usageWindowStart_ = 0;
+
+    /// @name Sharded step loop (docs/SCALING.md)
+    /// @{
+    /** Run @p fn(s) for every shard: inline when threads_ == 1,
+     *  else on the executor with staging installed, followed by an
+     *  in-shard-order commit of the staged side effects. */
+    void runSharded(const std::function<void(int)> &fn);
+    /** Merge every shard's staged stats / trace events / lost count
+     *  into the master state, in shard order. */
+    void commitShards();
+    /** Wire-arrival phase of shard @p s: flit queues of links ending in
+     *  the shard, credit queues of links starting in it, NIC arrival
+     *  wires of its nodes. */
+    void drainWiresShard(int s, Cycle now);
+
+    /** Worker count after clamping to the router count. */
+    int threads_ = 1;
+    /** Present only when threads_ > 1. */
+    std::unique_ptr<StepExecutor> exec_;
+    /** Staging buffers, one per shard; empty when threads_ == 1. */
+    std::vector<StepShard> shards_;
+    /** Router-id shard bounds: shard s owns [shardLo_[s],
+     *  shardLo_[s+1]). Contiguous ranges make shard-order commits
+     *  reproduce the serial router iteration order. */
+    std::vector<RouterId> shardLo_;
+    /** Per shard: indices of links whose flit queue the shard drains
+     *  (dst router in shard), ordered by (dst router, dst port). */
+    std::vector<std::vector<std::int32_t>> shardFlitLinks_;
+    /** Per shard: indices of links whose credit queue the shard drains
+     *  (src router in shard), ordered by (src router, src port). */
+    std::vector<std::vector<std::int32_t>> shardCreditLinks_;
+    /** Per shard: its nodes, ordered by (attachment router, node id);
+     *  concatenation over shards is the canonical NIC order. */
+    std::vector<std::vector<NodeId>> shardNics_;
+    /// @}
 };
 
 } // namespace spin

@@ -32,13 +32,21 @@ Nic::queueLength() const
 }
 
 void
-Nic::drainWires(Cycle now)
+Nic::drainArrivalWires(Cycle now)
 {
     injWire_.drainInto(now, [&](LinkFlit &lf) {
         net_.router(router_).receiveFlit(port_, lf.vc,
                                          std::move(lf.flit));
     });
 
+    credWire_.drainInto(now, [&](const CreditMsg &c) {
+        tracker_.onCredit(c.vc, c.isFree, now);
+    });
+}
+
+void
+Nic::drainEjectWire(Cycle now)
+{
     ejectWire_.drainInto(now, [&](const Flit &f) {
         if (f.isTail()) {
             f.pkt->ejectCycle = now;
@@ -54,10 +62,13 @@ Nic::drainWires(Cycle now)
             net_.notifyEjected(f.pkt);
         }
     });
+}
 
-    credWire_.drainInto(now, [&](const CreditMsg &c) {
-        tracker_.onCredit(c.vc, c.isFree, now);
-    });
+void
+Nic::drainWires(Cycle now)
+{
+    drainArrivalWires(now);
+    drainEjectWire(now);
 }
 
 void

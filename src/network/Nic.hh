@@ -40,7 +40,20 @@ class Nic
 
     /// @name Per-cycle phases, called by Network::step()
     /// @{
-    /** Deliver wire arrivals: flits into router / NIC, credits. */
+    /**
+     * Deliver injection-wire flits into the attached router and credit
+     * arrivals into the local tracker. Shard-parallel: touches only
+     * this NIC and its attachment router (same shard by construction).
+     */
+    void drainArrivalWires(Cycle now);
+    /**
+     * Retire tail flits off the eject wire: latency/eject accounting,
+     * the eject trace event, and Network::notifyEjected (whose listener
+     * may create new packets). Serial phase -- packet-id allocation and
+     * in-flight accounting need one canonical order.
+     */
+    void drainEjectWire(Cycle now);
+    /** Both of the above; single-threaded convenience for tests. */
     void drainWires(Cycle now);
     /** Try to push one flit of the current packet toward the router. */
     void injectStep(Cycle now);

@@ -107,6 +107,18 @@ class JsonValue
         }
         return nullptr;
     }
+    /** Drop the member @p key. @return true when it was present. */
+    bool
+    remove(const std::string &key)
+    {
+        for (auto it = members_.begin(); it != members_.end(); ++it) {
+            if (it->first == key) {
+                members_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
     /** Member value by key; a shared Null when absent. */
     const JsonValue &operator[](const std::string &key) const;
     const std::vector<std::pair<std::string, JsonValue>> &

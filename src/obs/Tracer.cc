@@ -8,6 +8,14 @@
 namespace spin::obs
 {
 
+namespace
+{
+
+/** See Tracer::stageInto(). */
+thread_local std::vector<TraceEvent> *tlsStage = nullptr;
+
+} // namespace
+
 const char *
 categoryName(std::uint32_t cat)
 {
@@ -214,12 +222,22 @@ Tracer::restrictRouters(const std::vector<RouterId> &routers)
 void
 Tracer::record(const TraceEvent &e)
 {
+    if (tlsStage != nullptr) {
+        tlsStage->push_back(e);
+        return;
+    }
     if (!wants(e.category, e.router)) {
         ++filtered_;
         return;
     }
     ++recorded_;
     sink_->write(e);
+}
+
+void
+Tracer::stageInto(std::vector<TraceEvent> *buf)
+{
+    tlsStage = buf;
 }
 
 } // namespace spin::obs

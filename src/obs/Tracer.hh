@@ -116,8 +116,22 @@ class Tracer
     }
     /// @}
 
-    /** Record @p e if the filters admit it. */
+    /** Record @p e if the filters admit it. When this thread has a
+     *  staging buffer installed (stageInto), the raw event is appended
+     *  there instead and filtering happens when the owner replays it
+     *  through record() on the coordinating thread. */
     void record(const TraceEvent &e);
+
+    /**
+     * Redirect this thread's record() calls into @p buf; nullptr
+     * restores direct recording. Installed around the parallel phases
+     * of the sharded step loop so worker threads never touch the sink;
+     * the staged events are replayed in shard order at the phase
+     * barrier, keeping trace output bit-identical for any thread count
+     * (docs/SCALING.md). Thread-local and tracer-agnostic: a worker
+     * serves exactly one network while staged.
+     */
+    static void stageInto(std::vector<TraceEvent> *buf);
 
     /// @name Convenience emitters (build the event in place)
     /// @{

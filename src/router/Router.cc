@@ -14,7 +14,10 @@ namespace spin
 {
 
 Router::Router(Network &net, RouterId id)
-    : net_(net), id_(id), load_(&net.routerLoadSlot(id))
+    : net_(net), id_(id),
+      rng_(Random::streamSeed(net.config().seed,
+                              static_cast<std::uint64_t>(id))),
+      load_(&net.routerLoadSlot(id))
 {
     const Topology &topo = net.topo();
     const NetworkConfig &cfg = net.config();

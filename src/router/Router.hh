@@ -20,6 +20,7 @@
 
 #include "common/Config.hh"
 #include "common/Packet.hh"
+#include "common/Random.hh"
 #include "common/Types.hh"
 #include "network/Link.hh"
 #include "router/InputUnit.hh"
@@ -60,6 +61,17 @@ class Router
     /** The network this router belongs to. */
     Network &network() { return net_; }
     const Network &network() const { return net_; }
+
+    /**
+     * This router's private RNG stream (seeded from the network seed
+     * and the router id). All stochastic routing decisions made *at*
+     * this router -- adaptive tie-breaks, intermediate-node picks for
+     * packets injected here -- draw from it, so the draws are
+     * independent of the order other routers execute in and the
+     * sharded step loop stays bit-deterministic for any thread count.
+     * Mutable: select() sees a const Router but the draw is state.
+     */
+    Random &rng() const { return rng_; }
 
     /** SPIN per-router unit; nullptr unless scheme == Spin. */
     SpinUnit *spinUnit() { return spin_.get(); }
@@ -167,6 +179,9 @@ class Router
     fault::FaultInjector *faults_ = nullptr;
     /** See markDead(). */
     bool dead_ = false;
+
+    /** See rng(). */
+    mutable Random rng_;
 
     /** Per-outport round-robin pointer over input ports (SA stage 2). */
     std::vector<PortId> outRr_;

@@ -48,14 +48,17 @@ EscapeVc::select(const Packet &pkt, const Router &r,
 
     // Prefer a random adaptive candidate with a free regular VC; when
     // everything regular is taken, head for the escape channel.
-    std::vector<PortId> &free_cands = selScratchFree_;
+    // Thread-local scratch: workers of the sharded step loop re-select
+    // concurrently through this one shared algorithm instance.
+    static thread_local std::vector<PortId> scratchFree;
+    std::vector<PortId> &free_cands = scratchFree;
     free_cands.clear();
     for (const PortId c : cands) {
         if (regularIdleAt(pkt, r, c))
             free_cands.push_back(c);
     }
     if (!free_cands.empty())
-        return free_cands[net_->rng().below(free_cands.size())];
+        return free_cands[r.rng().below(free_cands.size())];
     return westFirstNextPort(*net_->topo().mesh, r.id(), pkt.destRouter);
 }
 

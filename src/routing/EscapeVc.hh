@@ -44,9 +44,6 @@ class EscapeVc : public RoutingAlgorithm
     /** True when any candidate's regular VCs have a free slot. */
     bool regularIdleAt(const Packet &pkt, const Router &r,
                        PortId port) const;
-
-    /** Scratch for select(), reused across per-cycle re-selection. */
-    mutable std::vector<PortId> selScratchFree_;
 };
 
 } // namespace spin

@@ -32,9 +32,15 @@ RoutingAlgorithm::select(const Packet &pkt, const Router &r,
     // FAvORS selection (paper Sec. V): a random candidate whose next hop
     // has a free allowed VC; otherwise the candidate whose next-hop VC
     // has been active for the fewest cycles.
+    //
+    // Scratch is thread-local: under the sharded step loop every worker
+    // re-selects blocked heads of its own routers concurrently through
+    // this one shared algorithm instance.
     const Cycle now = net_->now();
-    std::vector<VcId> &allowed = selScratchVcs_;
-    std::vector<PortId> &free_cands = selScratchFree_;
+    static thread_local std::vector<VcId> scratchVcs;
+    static thread_local std::vector<PortId> scratchFree;
+    std::vector<VcId> &allowed = scratchVcs;
+    std::vector<PortId> &free_cands = scratchFree;
     free_cands.clear();
     PortId best = cands[0];
     Cycle best_active = kNeverCycle;
@@ -58,7 +64,7 @@ RoutingAlgorithm::select(const Packet &pkt, const Router &r,
         }
     }
     if (!free_cands.empty())
-        return free_cands[net_->rng().below(free_cands.size())];
+        return free_cands[r.rng().below(free_cands.size())];
     return best;
 }
 

@@ -203,12 +203,6 @@ class RoutingAlgorithm
     VcId vnetVcBase(VnetId vnet) const;
     int vcsPerVnet() const;
 
-  private:
-    /** Scratch for the default select(): reused across the per-cycle
-     *  re-selection of every blocked head. Safe because each Network
-     *  owns its algorithm instance and steps single-threaded. */
-    mutable std::vector<VcId> selScratchVcs_;
-    mutable std::vector<PortId> selScratchFree_;
 };
 
 /**

@@ -62,11 +62,14 @@ Ugal::sourceRoute(Packet &pkt, RouterId src)
     // packets circling opposite directions deadlock (the CDG cycle
     // spin_lint flags). The unordered flavor detours anywhere; SPIN
     // recovery owns its loops.
+    // Draws come from the *source router's* stream: injection runs
+    // sharded by attachment router, so the draw order at any one
+    // router is fixed regardless of how other shards are scheduled.
     RouterId inter = kInvalidId;
     const DragonflyInfo &df = *topo.dragonfly;
     for (int tries = 0; tries < 8; ++tries) {
         if (vcOrdered_) {
-            const int cand = static_cast<int>(net_->rng().below(df.g));
+            const int cand = static_cast<int>(r.rng().below(df.g));
             if (cand == df.groupOf(src) || cand == df.groupOf(dst))
                 continue;
             const RouterId e = entry_[df.groupOf(src) * df.g + cand];
@@ -76,7 +79,7 @@ Ugal::sourceRoute(Packet &pkt, RouterId src)
             }
         } else {
             const RouterId cand = static_cast<RouterId>(
-                net_->rng().below(topo.numRouters()));
+                r.rng().below(topo.numRouters()));
             if (cand != src && cand != dst) {
                 inter = cand;
                 break;

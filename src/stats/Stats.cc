@@ -44,6 +44,60 @@ Stats::reset(Cycle now)
     windowStart = now;
 }
 
+void
+Stats::mergeFrom(const Stats &o)
+{
+    packetsCreated += o.packetsCreated;
+    packetsInjected += o.packetsInjected;
+    packetsEjected += o.packetsEjected;
+    flitsCreated += o.flitsCreated;
+    flitsInjected += o.flitsInjected;
+    flitsEjected += o.flitsEjected;
+    latencySum += o.latencySum;
+    netLatencySum += o.netLatencySum;
+    hopsSum += o.hopsSum;
+    maxLatency = std::max(maxLatency, o.maxLatency);
+    spinsOfEjected += o.spinsOfEjected;
+    if (latencyHist.size() < o.latencyHist.size())
+        latencyHist.resize(o.latencyHist.size(), 0);
+    for (std::size_t b = 0; b < o.latencyHist.size(); ++b)
+        latencyHist[b] += o.latencyHist[b];
+
+    probesSent += o.probesSent;
+    probesForked += o.probesForked;
+    probesDropped += o.probesDropped;
+    probesReturned += o.probesReturned;
+    probeDropPriority += o.probeDropPriority;
+    probeDropInactive += o.probeDropInactive;
+    probeDropNoDep += o.probeDropNoDep;
+    probeDropHops += o.probeDropHops;
+    probeDropStale += o.probeDropStale;
+    movesSent += o.movesSent;
+    movesDropped += o.movesDropped;
+    movesReturned += o.movesReturned;
+    probeMovesSent += o.probeMovesSent;
+    probeMovesDropped += o.probeMovesDropped;
+    probeMovesReturned += o.probeMovesReturned;
+    killMovesSent += o.killMovesSent;
+    smContentionDrops += o.smContentionDrops;
+    spins += o.spins;
+    falsePositiveSpins += o.falsePositiveSpins;
+    spinsCancelled += o.spinsCancelled;
+    packetsRotated += o.packetsRotated;
+
+    bubbleRecoveries += o.bubbleRecoveries;
+
+    linksFailed += o.linksFailed;
+    routersFailed += o.routersFailed;
+    transientFaults += o.transientFaults;
+    packetsUnroutable += o.packetsUnroutable;
+    packetsRerouted += o.packetsRerouted;
+    packetsLostToFaults += o.packetsLostToFaults;
+    flitsLostToFaults += o.flitsLostToFaults;
+    packetsCorrupted += o.packetsCorrupted;
+    packetsDroppedAtNic += o.packetsDroppedAtNic;
+}
+
 double
 Stats::latencyPercentile(double p) const
 {

@@ -110,6 +110,17 @@ class Stats
     /** Zero every counter and open a new window at @p now. */
     void reset(Cycle now);
 
+    /**
+     * Fold @p o into this record: counters and histogram buckets add,
+     * maxLatency takes the max, windowStart is untouched. Every field
+     * is commutative under merge, which is what lets the sharded step
+     * loop stage per-thread Stats and commit them in any grouping with
+     * bit-identical results (docs/SCALING.md). A new counter added to
+     * this class MUST be added here (MergesEveryField in
+     * tests/test_metrics.cc guards the full field list).
+     */
+    void mergeFrom(const Stats &o);
+
     /// @name Derived metrics
     /// @{
     /**

@@ -38,10 +38,12 @@ class ClockwiseRing : public RoutingAlgorithm
     }
 };
 
-/** Build an n-router ring network with the given scheme and VC count. */
+/** Build an n-router ring network with the given scheme and VC count.
+ *  @p threads shards the step loop (results are bit-identical for any
+ *  value; the ×-threads determinism tests rely on that). */
 inline std::unique_ptr<Network>
 ringNetwork(int n, DeadlockScheme scheme, int vcs_per_vnet = 1,
-            Cycle t_dd = 32)
+            Cycle t_dd = 32, int threads = 1)
 {
     auto topo = std::make_shared<Topology>(makeRing(n));
     NetworkConfig cfg;
@@ -51,6 +53,7 @@ ringNetwork(int n, DeadlockScheme scheme, int vcs_per_vnet = 1,
     cfg.maxPacketSize = 5;
     cfg.scheme = scheme;
     cfg.tDd = t_dd;
+    cfg.threads = threads;
     return std::make_unique<Network>(topo, cfg,
                                      std::make_unique<ClockwiseRing>());
 }

@@ -265,6 +265,164 @@ TEST(NetworkMetrics, WarmupResetRebaselinesWindows)
     EXPECT_EQ(measured, net->stats().packetsEjected);
 }
 
+namespace
+{
+
+/** The WarmupResetRebaselinesWindows workload, parameterized on the
+ *  step-loop thread count, as a captured stream. */
+std::vector<std::string>
+warmupResetCapture(int threads)
+{
+    auto net = ringNetwork(6, DeadlockScheme::Spin, 1, 32, threads);
+    auto sink = std::make_unique<obs::MemoryMetricsSink>();
+    obs::MemoryMetricsSink *mem = sink.get();
+    net->enableMetrics(obs::MetricsConfig{32, ""}, std::move(sink));
+    injectRingDeadlock(*net);
+    drain(*net, 5000);
+    net->beginMeasurement();
+    injectRingDeadlock(*net);
+    drain(*net, 5000);
+    net->metrics()->finish(net->now());
+    return mem->lines();
+}
+
+} // namespace
+
+TEST(NetworkMetrics, WarmupResetIdenticalAcrossThreadCounts)
+{
+    // The warmup boundary re-baselines every counter delta; sharded
+    // stepping stages per-thread Stats around that reset, so the
+    // emitted stream must stay byte-identical for any thread count
+    // (docs/SCALING.md determinism contract).
+    const std::vector<std::string> base = warmupResetCapture(1);
+    bool sawBegin = false;
+    for (const std::string &line : base)
+        sawBegin |= line.find("measurement-begin") != std::string::npos;
+    ASSERT_TRUE(sawBegin) << "stream never crossed the warmup boundary";
+    EXPECT_EQ(warmupResetCapture(2), base);
+    EXPECT_EQ(warmupResetCapture(4), base);
+}
+
+// ---------------------------------------------------------------------
+// Stats merge
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Walk @p one (a lone Stats::toJson) against @p two (the same Stats
+ * merged twice into a fresh one) asserting the mergeFrom contract per
+ * leaf: counters double, maxLatency maxes, windowStart is untouched,
+ * the derived ratios are scale-invariant. Any numeric leaf that is
+ * zero in @p one means a Stats field this test forgot to set -- extend
+ * MergesEveryField alongside the new counter.
+ */
+void
+checkDoubled(const JsonValue &one, const JsonValue &two,
+             const std::string &path)
+{
+    if (one.isObject()) {
+        ASSERT_TRUE(two.isObject()) << path;
+        ASSERT_EQ(one.members().size(), two.members().size()) << path;
+        for (std::size_t i = 0; i < one.members().size(); ++i) {
+            const auto &m = one.members()[i];
+            ASSERT_EQ(two.members()[i].first, m.first) << path;
+            checkDoubled(m.second, two.members()[i].second,
+                         path + "/" + m.first);
+        }
+        return;
+    }
+    if (one.isArray()) {
+        ASSERT_TRUE(two.isArray()) << path;
+        ASSERT_EQ(one.size(), two.size()) << path;
+        for (std::size_t i = 0; i < one.size(); ++i)
+            checkDoubled(one.at(i), two.at(i),
+                         path + "[" + std::to_string(i) + "]");
+        return;
+    }
+    ASSERT_TRUE(one.isNumber()) << path;
+    if (path == "/windowStart") {
+        EXPECT_EQ(two.asNumber(), 0.0) << path << ": merge must not "
+            "touch the target's window start";
+        return;
+    }
+    if (path.rfind("/derived/", 0) == 0) {
+        // sum/count ratios and histogram percentiles are invariant
+        // under doubling both operands.
+        EXPECT_DOUBLE_EQ(two.asNumber(), one.asNumber()) << path;
+        return;
+    }
+    EXPECT_GT(one.asNumber(), 0.0)
+        << path << ": field never set; a counter was added to Stats "
+        "without extending MergesEveryField";
+    if (path == "/traffic/maxLatency")
+        EXPECT_EQ(two.asNumber(), one.asNumber()) << path;
+    else
+        EXPECT_EQ(two.asNumber(), 2.0 * one.asNumber()) << path;
+}
+
+} // namespace
+
+TEST(StatsMerge, MergesEveryField)
+{
+    // Give every counter a distinct nonzero value; the JSON walk below
+    // is the drift tripwire Stats.hh points at: a counter present in
+    // toJson but missing here (or in mergeFrom) fails loudly.
+    Stats proto;
+    std::uint64_t v = 0;
+    const auto next = [&v]() { return ++v; };
+    proto.packetsCreated = next();
+    proto.packetsInjected = next();
+    proto.packetsEjected = next();
+    proto.flitsCreated = next();
+    proto.flitsInjected = next();
+    proto.flitsEjected = next();
+    proto.latencySum = next();
+    proto.netLatencySum = next();
+    proto.hopsSum = next();
+    proto.maxLatency = next();
+    proto.spinsOfEjected = next();
+    proto.latencyHist = {1, 2, 3, 4};
+    proto.probesSent = next();
+    proto.probesForked = next();
+    proto.probesDropped = next();
+    proto.probesReturned = next();
+    proto.probeDropPriority = next();
+    proto.probeDropInactive = next();
+    proto.probeDropNoDep = next();
+    proto.probeDropHops = next();
+    proto.probeDropStale = next();
+    proto.movesSent = next();
+    proto.movesDropped = next();
+    proto.movesReturned = next();
+    proto.probeMovesSent = next();
+    proto.probeMovesDropped = next();
+    proto.probeMovesReturned = next();
+    proto.killMovesSent = next();
+    proto.smContentionDrops = next();
+    proto.spins = next();
+    proto.falsePositiveSpins = next();
+    proto.spinsCancelled = next();
+    proto.packetsRotated = next();
+    proto.bubbleRecoveries = next();
+    proto.linksFailed = next();
+    proto.routersFailed = next();
+    proto.transientFaults = next();
+    proto.packetsUnroutable = next();
+    proto.packetsRerouted = next();
+    proto.packetsLostToFaults = next();
+    proto.flitsLostToFaults = next();
+    proto.packetsCorrupted = next();
+    proto.packetsDroppedAtNic = next();
+    proto.windowStart = next();
+
+    Stats merged;
+    merged.mergeFrom(proto);
+    merged.mergeFrom(proto);
+    checkDoubled(proto.toJson(), merged.toJson(), "");
+}
+
 // ---------------------------------------------------------------------
 // Profiler
 // ---------------------------------------------------------------------

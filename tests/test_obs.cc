@@ -742,6 +742,39 @@ TEST(Samplers, WarmupResetDropsSeriesAndRebaselines)
     }
 }
 
+namespace
+{
+
+/** The warmup-reset sampler workload at a given step-loop thread
+ *  count, reduced to its full telemetry document. */
+std::string
+sampledTelemetry(int threads)
+{
+    auto net = ringNetwork(6, DeadlockScheme::Spin, 1, 32, threads);
+    obs::SamplerConfig scfg;
+    scfg.period = 8;
+    net->enableSampling(scfg);
+    injectRingDeadlock(*net);
+    drain(*net, 5000);
+    net->beginMeasurement();
+    injectRingDeadlock(*net);
+    drain(*net, 5000);
+    return net->telemetryJson().dump(2);
+}
+
+} // namespace
+
+TEST(Samplers, WarmupResetIdenticalAcrossThreadCounts)
+{
+    // Sampler series are cleared at the warmup boundary and rebuilt
+    // from the post-reset baseline; under sharded stepping the series
+    // (and everything else in the telemetry document) must come out
+    // byte-identical for any thread count (docs/SCALING.md).
+    const std::string base = sampledTelemetry(1);
+    EXPECT_EQ(sampledTelemetry(3), base);
+    EXPECT_EQ(sampledTelemetry(6), base);
+}
+
 TEST(Samplers, RingSeriesClearEmptiesRetainedAndTotal)
 {
     obs::RingSeries s(4);

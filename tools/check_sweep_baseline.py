@@ -38,7 +38,7 @@ def load(path):
         print(f"check_sweep_baseline: cannot read {path}: {e}",
               file=sys.stderr)
         print("Generate the baseline with "
-              "'spin_sweep --bench --json <path>' (see EXPERIMENTS.md).",
+              "'spin_sweep --bench-json <path>' (see EXPERIMENTS.md).",
               file=sys.stderr)
         sys.exit(2)
     except ValueError as e:

@@ -39,7 +39,11 @@ usage()
     return "usage: spin_sweep --spec NAME|FILE [options]\n"
            "options:\n"
            "  --spec NAME|FILE   built-in spec name or JSON spec file\n"
-           "  -j, --jobs N       worker threads (default 1)\n"
+           "  -j, --jobs N       worker threads, one cell each\n"
+           "                     (default 1)\n"
+           "  -t, --threads N    threads inside each cell's simulation\n"
+           "                     (default 1; results bit-identical for\n"
+           "                     any value, docs/SCALING.md)\n"
            "  --out DIR          per-cell result dir (default\n"
            "                     sweep-out/<spec>); enables resume\n"
            "  --no-cells         do not write per-cell files\n"
@@ -97,7 +101,7 @@ listBuiltins()
  */
 obs::JsonValue
 benchRecord(const SweepSpec &spec, const obs::JsonValue &results,
-            const CampaignPerf &perf, int jobs)
+            const CampaignPerf &perf, int jobs, int threads)
 {
     using obs::JsonValue;
     JsonValue root = JsonValue::object();
@@ -118,6 +122,7 @@ benchRecord(const SweepSpec &spec, const obs::JsonValue &results,
     root.set("digest", std::move(digest));
     JsonValue p = perf.toJson();
     p.set("jobs", JsonValue(jobs));
+    p.set("threads", JsonValue(threads));
     root.set("perf", std::move(p));
     return root;
 }
@@ -129,7 +134,7 @@ main(int argc, char **argv)
 {
     std::string specArg, outDir, jsonPath, benchJsonPath, faultsPath;
     std::string metricsPath;
-    std::uint64_t jobs = 1, warmup = 0, measure = 0;
+    std::uint64_t jobs = 1, threads = 1, warmup = 0, measure = 0;
     std::uint64_t metricsInterval = 256, auditInterval = 0;
     bool warmupSet = false, measureSet = false;
     bool fast = false, resume = false, progress = false, live = false;
@@ -140,6 +145,8 @@ main(int argc, char **argv)
         argStr("--spec", &specArg),
         argU64("-j", &jobs),
         argU64("--jobs", &jobs),
+        argU64("-t", &threads),
+        argU64("--threads", &threads),
         argStr("--out", &outDir),
         argFlag("--no-cells", &noCells),
         argFlag("--resume", &resume),
@@ -206,6 +213,7 @@ main(int argc, char **argv)
 
     CampaignOptions copt;
     copt.jobs = static_cast<int>(jobs);
+    copt.threads = static_cast<int>(threads);
     copt.resume = resume;
     copt.progress = progress;
     copt.metricsPath = metricsPath;
@@ -226,9 +234,11 @@ main(int argc, char **argv)
     if (jsonPath.empty() && !copt.cellDir.empty())
         jsonPath = copt.cellDir + "/results.json";
 
-    std::printf("spin_sweep: spec '%s' (%s), %zu cells, %llu jobs%s\n\n",
+    std::printf("spin_sweep: spec '%s' (%s), %zu cells, %llu jobs, "
+                "%llu threads/cell%s\n\n",
                 spec.name.c_str(), spec.topology.c_str(), cells.size(),
                 static_cast<unsigned long long>(jobs),
+                static_cast<unsigned long long>(threads),
                 resume ? ", resume" : "");
 
     Campaign campaign(spec, copt);
@@ -260,7 +270,8 @@ main(int argc, char **argv)
     }
     if (!benchJsonPath.empty()) {
         obs::JsonValue rec =
-            benchRecord(spec, results, perf, static_cast<int>(jobs));
+            benchRecord(spec, results, perf, static_cast<int>(jobs),
+                        static_cast<int>(threads));
         // Wall-clock only; the baseline checker never reads it.
         if (profile)
             rec.set("profile", campaign.profile().toJson());
