@@ -21,6 +21,7 @@
 #ifndef SPINNOC_BENCH_BENCHUTIL_HH
 #define SPINNOC_BENCH_BENCHUTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,6 +69,19 @@ struct Options
      *  Results are bit-identical for any value (docs/SCALING.md), so
      *  this is an execution knob and never lands in the JSON export. */
     std::uint64_t threads = 1;
+    /** End-to-end reliability (--reliability and friends). Defaults
+     *  mirror ReliabilityConfig; the knobs only take effect when
+     *  reliability is on, so reliability-off runs stay byte-identical
+     *  to historical baselines. */
+    bool reliability = false;
+    std::uint64_t retxTimeout = 512;
+    std::uint64_t retxMax = 5;
+    std::uint64_t linkRetries = 3;
+    std::uint64_t watchdog = 100000;
+    /** Wall-clock watchdog in seconds (--wall-limit); 0 disables. On
+     *  overrun the bench dumps telemetry (plus NIC retransmit state
+     *  when reliability is on) and fails fast instead of hanging CI. */
+    std::uint64_t wallLimit = 0;
 
     static const char *
     usage()
@@ -80,9 +94,9 @@ struct Options
                "  --json PATH    write results as JSON\n"
                "  --trace PATH   write a Chrome trace of the first "
                "network\n"
-               "  --faults PATH  inject faults from a spin-faults/v1 "
+               "  --faults PATH  inject faults from a spin-faults/v2 "
                "spec\n"
-               "  --metrics PATH spin-metrics/v1 JSONL of every "
+               "  --metrics PATH spin-metrics/v2 JSONL of every "
                "simulated network\n"
                "  --metrics-interval N  metrics window in cycles "
                "(default 256)\n"
@@ -93,6 +107,20 @@ struct Options
                "  --threads N    threads inside each simulated network\n"
                "                 (default 1; bit-identical results for "
                "any N)\n"
+               "  --reliability  end-to-end reliable delivery (CRC, "
+               "link retry,\n"
+               "                 NIC retransmission; docs/FAULTS.md)\n"
+               "  --retx-timeout N  base ack timeout in cycles "
+               "(default 512)\n"
+               "  --retx-max N   retransmit attempts before abandoning "
+               "(default 5)\n"
+               "  --link-retries N  per-link retry budget per flit "
+               "(default 3)\n"
+               "  --watchdog N   livelock watchdog budget in cycles\n"
+               "                 (default 100000)\n"
+               "  --wall-limit N fail fast after N wall-clock seconds "
+               "with a\n"
+               "                 telemetry dump (0 = off)\n"
                "  --help         this message\n";
     }
 
@@ -117,6 +145,12 @@ struct Options
             exp::argU64("--audit", &o.auditInterval),
             exp::argFlag("--profile", &o.profile),
             exp::argU64("--threads", &o.threads),
+            exp::argFlag("--reliability", &o.reliability),
+            exp::argU64("--retx-timeout", &o.retxTimeout),
+            exp::argU64("--retx-max", &o.retxMax),
+            exp::argU64("--link-retries", &o.linkRetries),
+            exp::argU64("--watchdog", &o.watchdog),
+            exp::argU64("--wall-limit", &o.wallLimit),
             exp::argFlag("--fast", &o.fast),
         };
         if (!exp::parseArgs(argc, argv, specs, err))
@@ -157,6 +191,14 @@ struct Options
         if (seedSet)
             cfg.seed = seed;
         cfg.threads = threads > 0 ? static_cast<int>(threads) : 1;
+        if (reliability) {
+            cfg.reliability.enabled = true;
+            cfg.reliability.ackTimeout = retxTimeout;
+            cfg.reliability.maxRetransmits = static_cast<int>(retxMax);
+            cfg.reliability.maxLinkRetries =
+                static_cast<int>(linkRetries);
+            cfg.reliability.watchdogBudget = watchdog;
+        }
     }
 
     /** Apply CLI overrides (--seed, --threads) to a preset before
@@ -217,6 +259,55 @@ profileTotals()
     return totals;
 }
 
+/**
+ * Wall-clock watchdog for --wall-limit: sampled every ~1024 simulated
+ * cycles (cheap enough for inner loops). On overrun it writes the
+ * network's telemetry -- including per-NIC retransmit state when any
+ * retransmit queue is nonempty -- to spin-wall-limit.json and fails
+ * fast, so a livelocked or wedged run leaves forensics instead of
+ * hanging CI.
+ */
+class WallLimitGuard
+{
+  public:
+    explicit WallLimitGuard(std::uint64_t limit_seconds)
+        : limit_(limit_seconds),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    void
+    check(Network &net)
+    {
+        if (limit_ == 0 || (++ticks_ & 1023u) != 0)
+            return;
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        if (static_cast<std::uint64_t>(elapsed) < limit_)
+            return;
+        obs::JsonValue doc = net.telemetryJson();
+        obs::JsonValue retx = obs::JsonValue::array();
+        for (int n = 0; n < net.numNodes(); ++n) {
+            Nic &nic = net.nic(static_cast<NodeId>(n));
+            if (nic.retxQueueLength() > 0)
+                retx.push(nic.retxJson(net.now()));
+        }
+        doc.set("retx", std::move(retx));
+        const char *path = "spin-wall-limit.json";
+        std::ofstream os(path);
+        os << doc.dump(2) << '\n';
+        SPIN_FATAL("wall-clock limit of ", limit_,
+                   "s exceeded at cycle ", net.now(),
+                   "; telemetry: ", path);
+    }
+
+  private:
+    std::uint64_t limit_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t ticks_ = 0;
+};
+
 /** One point of a latency/throughput sweep. */
 struct SweepPoint
 {
@@ -259,6 +350,10 @@ sweep(const ConfigPreset &preset,
     // preset once; every point of the sweep runs the same config.
     ConfigPreset p0 = preset;
     opt.apply(p0);
+    // The --wall-limit budget covers the whole sweep, not one point: a
+    // wedged point should fail the bench, not hand the remaining rates
+    // a fresh clock.
+    WallLimitGuard wall(opt.wallLimit);
     int past_saturation = 0;
     for (const double rate : rates) {
         if (past_saturation >= 2)
@@ -311,12 +406,14 @@ sweep(const ConfigPreset &preset,
             inj.tick();
             net->step();
             maybeAudit();
+            wall.check(*net);
         }
         net->beginMeasurement();
         for (Cycle i = 0; i < opt.measure; ++i) {
             inj.tick();
             net->step();
             maybeAudit();
+            wall.check(*net);
         }
         if (opt.profile)
             profileTotals().merge(*net->profiler());

@@ -54,7 +54,7 @@ campaignUsage()
            "  --warmup N      override the spec's warmup window\n"
            "  --measure N     override the spec's measure window\n"
            "  --fast          quarter-scale warmup/measure\n"
-           "  --faults PATH   inject a spin-faults/v1 schedule into\n"
+           "  --faults PATH   inject a spin-faults/v2 schedule into\n"
            "                  every cell (docs/FAULTS.md)\n"
            "  --seed N        run with the single seed N\n"
            "  --out DIR       per-cell result dir (default\n"
@@ -62,7 +62,7 @@ campaignUsage()
            "  --no-cells      do not write per-cell files\n"
            "  --resume        reuse finished cells from --out\n"
            "  --json PATH     write the aggregated results JSON\n"
-           "  --metrics PATH  combined spin-metrics/v1 JSONL of every\n"
+           "  --metrics PATH  combined spin-metrics/v2 JSONL of every\n"
            "                  simulated cell (one file per spec; with\n"
            "                  several specs the spec name is appended)\n"
            "  --metrics-interval N  metrics window in cycles (default\n"
@@ -71,6 +71,11 @@ campaignUsage()
            "                  in every cell; fail fast with a\n"
            "                  spin-audit/v1 report on violation\n"
            "  --profile       per-phase wall-clock attribution\n"
+           "  --reliability   run every cell with end-to-end reliable\n"
+           "                  delivery on (docs/FAULTS.md)\n"
+           "  --wall-limit N  per-cell wall-clock budget in seconds;\n"
+           "                  overruns dump telemetry and fail fast\n"
+           "                  (0 = off)\n"
            "  --live          single-line progress meter on stderr\n"
            "                  (auto when stderr is a TTY)\n"
            "  --progress      per-cell progress on stderr\n"
@@ -98,6 +103,8 @@ runCampaignMain(const char *banner,
     bool fast = false, resume = false, progress = false, live = false;
     bool profile = false;
     bool noCells = false, help = false;
+    bool reliability = false;
+    std::uint64_t wallLimit = 0;
     std::string outDir, jsonPath, faultsPath, metricsPath;
 
     const std::vector<exp::ArgSpec> specs = {
@@ -118,6 +125,8 @@ runCampaignMain(const char *banner,
         exp::argU64("--metrics-interval", &metricsInterval),
         exp::argU64("--audit", &auditInterval),
         exp::argFlag("--profile", &profile),
+        exp::argFlag("--reliability", &reliability),
+        exp::argU64("--wall-limit", &wallLimit),
         exp::argFlag("--live", &live),
         exp::argFlag("--progress", &progress),
         exp::argFlag("--help", &help),
@@ -162,6 +171,8 @@ runCampaignMain(const char *banner,
         }
         if (seedSet)
             spec.seeds = {seed};
+        if (reliability)
+            spec.reliability = {true};
 
         exp::CampaignOptions copt;
         copt.jobs = static_cast<int>(jobs);
@@ -171,6 +182,7 @@ runCampaignMain(const char *banner,
         copt.live = live || (!progress && isatty(fileno(stderr)) != 0);
         copt.profile = profile;
         copt.auditInterval = auditInterval;
+        copt.wallLimitSeconds = wallLimit;
         copt.faultSchedule = faultSchedule;
         if (!metricsPath.empty()) {
             copt.metricsPath = specNames.size() == 1

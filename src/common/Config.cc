@@ -41,6 +41,20 @@ NetworkConfig::validate() const
         SPIN_FATAL("static bubble reserves one VC per vnet and needs "
                    "vcsPerVnet >= 2, got ", vcsPerVnet);
     }
+    if (reliability.enabled) {
+        if (reliability.maxLinkRetries < 0)
+            SPIN_FATAL("reliability.maxLinkRetries must be >= 0, got ",
+                       reliability.maxLinkRetries);
+        if (reliability.ackTimeout < 1)
+            SPIN_FATAL("reliability.ackTimeout must be >= 1, got ",
+                       reliability.ackTimeout);
+        if (reliability.maxRetransmits < 0)
+            SPIN_FATAL("reliability.maxRetransmits must be >= 0, got ",
+                       reliability.maxRetransmits);
+        if (reliability.watchdogBudget < 1)
+            SPIN_FATAL("reliability.watchdogBudget must be >= 1, got ",
+                       reliability.watchdogBudget);
+    }
 }
 
 } // namespace spin

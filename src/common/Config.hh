@@ -30,6 +30,33 @@ enum class DeadlockScheme : std::uint8_t
 
 std::string toString(DeadlockScheme s);
 
+/**
+ * End-to-end reliability layer knobs (docs/FAULTS.md). Off by default:
+ * with enabled == false every hook is a null check and behavior is
+ * bit-identical to the pre-reliability simulator, which keeps existing
+ * sweep baselines and resume fingerprints byte-stable.
+ */
+struct ReliabilityConfig
+{
+    /** Master switch for link-level retry + NIC retransmission. */
+    bool enabled = false;
+    /** Link-level retry bound: corrupted transmissions are re-sent up
+     *  to this many times before the flit is delivered poisoned and
+     *  recovery escalates to the end-to-end layer. */
+    int maxLinkRetries = 3;
+    /** Base ack timeout in cycles; retransmission k waits
+     *  ackTimeout << k (exponential backoff), timed on the simulated
+     *  clock. */
+    Cycle ackTimeout = 512;
+    /** End-to-end retransmission cap; exhausting it retires the packet
+     *  with a distinct counter (stats.reliability.packetsAbandoned). */
+    int maxRetransmits = 5;
+    /** Livelock watchdog: an unacked packet older than this raises a
+     *  one-shot watchdog alarm with a forensics dump of the NIC's
+     *  retransmit state ("recovering" vs "stuck"). */
+    Cycle watchdogBudget = 100000;
+};
+
 /** Router / network microarchitecture parameters. */
 struct NetworkConfig
 {
@@ -81,6 +108,9 @@ struct NetworkConfig
 
     /** Deadlock-freedom machinery. */
     DeadlockScheme scheme = DeadlockScheme::Spin;
+
+    /** End-to-end reliability layer (link retry + NIC retransmission). */
+    ReliabilityConfig reliability;
 
     /** Master RNG seed. */
     std::uint64_t seed = 1;

@@ -71,6 +71,24 @@ struct Packet
     bool faultDropped = false;
     /// @}
 
+    /// @name End-to-end reliability state (src/network, reliability on)
+    /// @{
+    /** Tracked by the source NIC's retransmit queue. */
+    bool reliable = false;
+    /** Per-(source, destination)-flow sequence number, stamped at
+     *  offer time; duplicate suppression at the destination keys on it. */
+    std::uint64_t e2eSeq = 0;
+    /** Transmission attempt, 0 for the original copy. */
+    int attempt = 0;
+    /** Packet id of the original copy (== id for attempt 0). */
+    PacketId origId = 0;
+    /** At least one flit needed a link-level retransmission. */
+    bool linkRetried = false;
+    /** Ack deadline armed when the tail flit leaves the source NIC;
+     *  kNeverCycle while still queued or streaming. */
+    Cycle ackDeadline = kNeverCycle;
+    /// @}
+
     /** True once sourceRoute() ran at the source NIC. */
     bool sourceRouted = false;
 
@@ -94,11 +112,24 @@ struct Flit
     /** Cycle this flit arrived at the current router (1-cycle router:
      *  a flit may not leave the cycle it arrives). */
     Cycle arrivedAt = 0;
+    /** Modeled payload word, stamped by makeFlits; link faults flip
+     *  bits in it so the checksum below genuinely fails. */
+    std::uint64_t payload = 0;
+    /** Checksum over (packet identity, seq, payload), stamped at flit
+     *  creation and verified per hop by the link-retry layer and at
+     *  ejection by the destination NIC (reliability on). */
+    std::uint32_t crc = 0;
 
     bool isHead() const { return isHeadFlit(type); }
     bool isTail() const { return isTailFlit(type); }
 
+    /** True when crc still matches the (possibly corrupted) payload. */
+    bool crcOk() const { return crc == flitCrc(*this); }
+
     std::string toString() const;
+
+    /** Reference checksum of @p f's identity + payload. */
+    static std::uint32_t flitCrc(const Flit &f);
 };
 
 /**

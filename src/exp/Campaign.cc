@@ -98,6 +98,9 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
     ConfigPreset preset = *reg;
     preset.cfg.seed = cell.netSeed;
     preset.cfg.threads = capture.threads > 0 ? capture.threads : 1;
+    // The reliability dimension toggles the protocol with its default
+    // knobs; per-knob sweeps go through dedicated specs/presets.
+    preset.cfg.reliability.enabled = cell.reliability;
 
     auto net = preset.build(topo);
     InjectorConfig icfg;
@@ -159,16 +162,51 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
                    rep.violations.front(), ")", where);
     };
 
+    // Wall-clock watchdog (spin_sweep --wall-limit): sampled every
+    // ~1024 cycles. A wedged cell dumps its telemetry -- including the
+    // per-NIC retransmit queues, the first thing to read when the
+    // reliability protocol livelocks -- and fails fast.
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::uint64_t wallTicks = 0;
+    const auto checkWall = [&]() {
+        if (capture.wallLimitSeconds == 0 || (++wallTicks & 1023u) != 0)
+            return;
+        const auto secs =
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - wallStart)
+                .count();
+        if (static_cast<std::uint64_t>(secs) < capture.wallLimitSeconds)
+            return;
+        obs::JsonValue doc = net->telemetryJson();
+        obs::JsonValue retx = obs::JsonValue::array();
+        for (int n = 0; n < net->numNodes(); ++n) {
+            Nic &nic = net->nic(static_cast<NodeId>(n));
+            if (nic.retxQueueLength() > 0)
+                retx.push(nic.retxJson(net->now()));
+        }
+        doc.set("retx", std::move(retx));
+        std::string where;
+        if (!capture.wallReportPath.empty()) {
+            std::ofstream os(capture.wallReportPath);
+            os << doc.dump(2) << '\n';
+            where = "; telemetry: " + capture.wallReportPath;
+        }
+        SPIN_FATAL("wall-clock limit of ", capture.wallLimitSeconds,
+                   "s exceeded at cycle ", net->now(), where);
+    };
+
     for (Cycle i = 0; i < spec.warmup; ++i) {
         inj.tick();
         net->step();
         maybeAudit();
+        checkWall();
     }
     net->beginMeasurement();
     for (Cycle i = 0; i < spec.measure; ++i) {
         inj.tick();
         net->step();
         maybeAudit();
+        checkWall();
     }
 
     if (msink) {
@@ -194,6 +232,10 @@ Campaign::runCell(const SweepSpec &spec, const Cell &cell,
     c.set("seed", JsonValue(cell.seed));
     c.set("netSeed", JsonValue(cell.netSeed));
     c.set("faults", JsonValue(cell.faultCount));
+    // Key present only on reliability cells: off-cell documents stay
+    // byte-identical to those written before the dimension existed.
+    if (cell.reliability)
+        c.set("reliability", JsonValue(true));
     if (const fault::FaultInjector *fi = net->faults())
         c.set("faultSchedule", fi->toJson());
     c.set("latency", JsonValue(latency));
@@ -344,6 +386,13 @@ Campaign::run()
                             ? "spin-audit-violation.json"
                             : cellPath(cell) + ".audit.json";
                 }
+                if (opt_.wallLimitSeconds > 0) {
+                    capture.wallLimitSeconds = opt_.wallLimitSeconds;
+                    capture.wallReportPath =
+                        opt_.cellDir.empty()
+                            ? "spin-wall-limit.json"
+                            : cellPath(cell) + ".wall.json";
+                }
                 obs::PhaseProfiler cellProfile;
                 if (opt_.profile)
                     capture.profileOut = &cellProfile;
@@ -492,17 +541,21 @@ Campaign::run()
         for (const Pattern pattern : spec_.patterns) {
             for (const std::uint64_t seed : spec_.seeds) {
               for (const int fc : spec_.faults) {
+               for (const bool rel : spec_.reliability) {
                 JsonValue s = JsonValue::object();
                 s.set("preset", JsonValue(preset));
                 s.set("pattern", JsonValue(toString(pattern)));
                 s.set("seed", JsonValue(seed));
                 s.set("faults", JsonValue(fc));
+                if (rel)
+                    s.set("reliability", JsonValue(true));
                 JsonValue points = JsonValue::array();
                 double saturation = 0.0;
                 for (const Cell &cell : cells) {
                     if (cell.preset != preset ||
                         cell.pattern != pattern || cell.seed != seed ||
-                        cell.faultCount != fc) {
+                        cell.faultCount != fc ||
+                        cell.reliability != rel) {
                         continue;
                     }
                     const JsonValue &r = results[cell.index];
@@ -518,6 +571,7 @@ Campaign::run()
                 s.set("points", std::move(points));
                 s.set("saturationRate", JsonValue(saturation));
                 series.push(std::move(s));
+               }
               }
             }
         }

@@ -63,7 +63,7 @@ struct CampaignOptions
      */
     fault::FaultSchedule faultSchedule;
     /**
-     * Combined spin-metrics/v1 JSONL path; empty disables per-cell
+     * Combined spin-metrics/v2 JSONL path; empty disables per-cell
      * metrics. Every simulated cell captures its windowed metrics into
      * a memory buffer (records tagged with the cell id); after the
      * workers join, the buffers are concatenated in expansion order, so
@@ -89,6 +89,13 @@ struct CampaignOptions
     /** Attribute wall-clock time to step() phases in every simulated
      *  cell; totals aggregate into Campaign::profile(). */
     bool profile = false;
+    /**
+     * Per-cell wall-clock watchdog in seconds (spin_sweep
+     * --wall-limit); 0 disables. A cell that overruns dumps its
+     * telemetry (including NIC retransmit state) next to the cell file
+     * and fails the campaign fast instead of hanging the worker pool.
+     */
+    std::uint64_t wallLimitSeconds = 0;
 };
 
 /** Wall-clock accounting of one run() (not part of the results). */
@@ -119,7 +126,7 @@ struct CellCapture
 {
     /** Metrics window length; used when metricsOut is set. */
     Cycle metricsInterval = 256;
-    /** When non-null, receives the cell's spin-metrics/v1 lines. */
+    /** When non-null, receives the cell's spin-metrics/v2 lines. */
     std::vector<std::string> *metricsOut = nullptr;
     /** When non-null, the cell runs profiled and its phase totals are
      *  merged in. */
@@ -137,6 +144,13 @@ struct CellCapture
     /** Threads inside the cell's Network::step()
      *  (CampaignOptions::threads). */
     int threads = 1;
+    /** Wall-clock budget for this cell in seconds; 0 disables
+     *  (CampaignOptions::wallLimitSeconds). On overrun the cell writes
+     *  its telemetry to wallReportPath (when set) and throws. */
+    std::uint64_t wallLimitSeconds = 0;
+    /** Destination for the overrun telemetry dump; empty keeps the
+     *  diagnosis in the exception message only. */
+    std::string wallReportPath;
 };
 
 /** See file comment. */

@@ -325,6 +325,28 @@ SweepSpec::fromJson(const obs::JsonValue &doc, SweepSpec &out,
         }
     }
 
+    const obs::JsonValue *rel = doc.find("reliability");
+    if (rel) {
+        if (!rel->isArray() || rel->size() == 0) {
+            err = "spec: 'reliability' must be a non-empty array of "
+                  "\"off\"/\"on\"";
+            return false;
+        }
+        s.reliability.clear();
+        for (std::size_t i = 0; i < rel->size(); ++i) {
+            const obs::JsonValue &e = rel->at(i);
+            if (e.isString() && e.asString() == "off") {
+                s.reliability.push_back(false);
+            } else if (e.isString() && e.asString() == "on") {
+                s.reliability.push_back(true);
+            } else {
+                err = "spec: 'reliability' entries must be \"off\" or "
+                      "\"on\"";
+                return false;
+            }
+        }
+    }
+
     double warmup = static_cast<double>(s.warmup);
     double measure = static_cast<double>(s.measure);
     double faultCycle = static_cast<double>(s.faultCycle);
@@ -405,6 +427,15 @@ SweepSpec::toJson() const
     for (const int f : faults)
         fs.push(JsonValue(f));
     o.set("faults", std::move(fs));
+    // Emitted only when non-default: the spec echo feeds the resume
+    // fingerprint, and specs written before the dimension existed must
+    // keep their caches valid.
+    if (!(reliability.size() == 1 && !reliability[0])) {
+        JsonValue rl = JsonValue::array();
+        for (const bool b : reliability)
+            rl.push(JsonValue(b ? "on" : "off"));
+        o.set("reliability", std::move(rl));
+    }
     o.set("faultCycle", JsonValue(faultCycle));
     o.set("warmup", JsonValue(warmup));
     o.set("measure", JsonValue(measure));
@@ -448,6 +479,8 @@ SweepSpec::validate() const
         if (f < 0)
             return "spec: fault counts must be >= 0";
     }
+    if (reliability.empty())
+        return "spec: 'reliability' must be non-empty";
     if (measure < 1)
         return "spec: need measure >= 1";
     return "";
@@ -458,12 +491,13 @@ SweepSpec::expand() const
 {
     std::vector<Cell> cells;
     cells.reserve(presets.size() * patterns.size() * rates.size() *
-                  seeds.size() * faults.size());
+                  seeds.size() * faults.size() * reliability.size());
     for (const std::string &preset : presets) {
         for (const Pattern pattern : patterns) {
             for (const double rate : rates) {
                 for (const std::uint64_t seed : seeds) {
                     for (const int fc : faults) {
+                      for (const bool rel : reliability) {
                         Cell c;
                         c.index = cells.size();
                         c.preset = preset;
@@ -471,6 +505,7 @@ SweepSpec::expand() const
                         c.rate = rate;
                         c.seed = seed;
                         c.faultCount = fc;
+                        c.reliability = rel;
                         c.netSeed = deriveCellSeed(seedBase, preset,
                                                    pattern, rate, seed);
                         std::string id = preset + "__" +
@@ -488,6 +523,12 @@ SweepSpec::expand() const
                                 c.netSeed = 1;
                             id += "__f" + std::to_string(fc);
                         }
+                        // Reliability keeps the netSeed: the protocol
+                        // changes delivery, not the offered traffic, so
+                        // on/off cells stay directly comparable. The id
+                        // suffix keeps cell files disjoint.
+                        if (rel)
+                            id += "__rel";
                         for (char &ch : id) {
                             const bool ok =
                                 (ch >= 'a' && ch <= 'z') ||
@@ -499,6 +540,7 @@ SweepSpec::expand() const
                         }
                         c.id = std::move(id);
                         cells.push_back(std::move(c));
+                      }
                     }
                 }
             }

@@ -46,6 +46,7 @@ struct Cell
     std::uint64_t seed = 1;     //!< the seed-list entry
     std::uint64_t netSeed = 1;  //!< derived per-cell network seed
     int faultCount = 0;         //!< random link failures to inject
+    bool reliability = false;   //!< end-to-end reliable delivery on
     std::string id;             //!< unique, filesystem-safe cell name
 };
 
@@ -68,6 +69,15 @@ struct SweepSpec
     std::vector<int> faults = {0};
     /** Injection cycle for the fault dimension (measured from reset). */
     Cycle faultCycle = 1000;
+    /**
+     * Reliability dimension ("reliability": ["off", "on"]): each entry
+     * toggles the end-to-end reliable-delivery protocol
+     * (docs/FAULTS.md) for its cells. Off-cells keep the exact id,
+     * netSeed, and spec echo they had before the dimension existed, so
+     * adding "on" to a spec never perturbs its baseline cells or
+     * invalidates their resume caches.
+     */
+    std::vector<bool> reliability = {false};
     Cycle warmup = 2000;
     Cycle measure = 4000;
     /** Latency above which a point counts as saturated. */

@@ -1,5 +1,7 @@
 #include "fault/FaultInjector.hh"
 
+#include <algorithm>
+
 #include "common/Logging.hh"
 #include "network/Network.hh"
 #include "obs/Forensics.hh"
@@ -8,6 +10,31 @@
 
 namespace spin::fault
 {
+
+namespace
+{
+
+/** splitmix64 finalizer: the flaky Bernoulli stream's hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from a 64-bit hash (53 mantissa bits). */
+double
+toUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/** Flip payload bits so the flit's CRC genuinely fails. */
+constexpr std::uint64_t kPoison = 0xdeadbeefcafef00dull;
+
+} // namespace
 
 FaultInjector::FaultInjector(Network &net, FaultSchedule schedule)
     : net_(net), schedule_(std::move(schedule))
@@ -20,6 +47,11 @@ FaultInjector::FaultInjector(Network &net, FaultSchedule schedule)
     deadRouter_.assign(net_.numRouters(), 0);
     pendingCorrupt_.assign(net_.numLinks(), 0);
     pendingDrop_.assign(net_.numLinks(), 0);
+    outageEnd_.assign(net_.numLinks(), 0);
+    flakyEnd_.assign(net_.numLinks(), 0);
+    flakyProb_.assign(net_.numLinks(), 0.0);
+    flakySeed_.assign(net_.numLinks(), 0);
+    flakyTx_.assign(net_.numLinks(), 0);
 }
 
 const Topology &
@@ -62,8 +94,16 @@ FaultInjector::tick(Cycle now)
           case FaultKind::Drop:
             applyTransient(e);
             break;
+          case FaultKind::LinkOutage:
+          case FaultKind::RouterOutage:
+            applyOutage(e);
+            break;
+          case FaultKind::Flaky:
+            applyFlaky(e);
+            break;
           case FaultKind::RandomLinks:
-            SPIN_FATAL("unexpanded random-links event in injector");
+          case FaultKind::FlakyLinks:
+            SPIN_FATAL("unexpanded macro event in injector");
         }
         noteApplied(e, now);
         ++nextIdx_;
@@ -139,6 +179,49 @@ FaultInjector::applyTransient(const FaultEvent &e)
 }
 
 void
+FaultInjector::applyOutage(const FaultEvent &e)
+{
+    // A down link (or a down router's links) garbles everything that
+    // crosses it during the window; control traffic is assumed on a
+    // protected sideband, so credits and SMs keep flowing.
+    const Cycle end = e.cycle + e.duration;
+    for (int li = 0; li < net_.numLinks(); ++li) {
+        const LinkSpec &s = net_.link(li).spec();
+        bool hit;
+        if (e.kind == FaultKind::RouterOutage)
+            hit = s.src == e.router || s.dst == e.router;
+        else
+            hit = (s.src == e.src && s.dst == e.dst) ||
+                  (s.src == e.dst && s.dst == e.src);
+        if (hit) {
+            auto &slot = outageEnd_[static_cast<std::size_t>(li)];
+            slot = std::max(slot, end);
+        }
+    }
+    ++net_.stats().transientFaults;
+}
+
+void
+FaultInjector::applyFlaky(const FaultEvent &e)
+{
+    const Cycle end = e.cycle + e.window;
+    for (int li = 0; li < net_.numLinks(); ++li) {
+        const LinkSpec &s = net_.link(li).spec();
+        const bool hit = (s.src == e.src && s.dst == e.dst) ||
+                         (s.src == e.dst && s.dst == e.src);
+        if (!hit)
+            continue;
+        const auto i = static_cast<std::size_t>(li);
+        flakyEnd_[i] = std::max(flakyEnd_[i], end);
+        flakyProb_[i] = e.prob;
+        // Decorrelate the two directions (and parallel links) without
+        // depending on arm order.
+        flakySeed_[i] = mix64(e.seed ^ (0x1000003ull * (li + 1)));
+    }
+    ++net_.stats().transientFaults;
+}
+
+void
 FaultInjector::noteApplied(const FaultEvent &e, Cycle now)
 {
     lastApplied_ = &concrete_[nextIdx_];
@@ -148,52 +231,152 @@ FaultInjector::noteApplied(const FaultEvent &e, Cycle now)
         te.cycle = now;
         te.category = obs::kCatFault;
         switch (e.kind) {
-          case FaultKind::LinkFail:   te.name = "link_fail"; break;
-          case FaultKind::RouterFail: te.name = "router_fail"; break;
-          case FaultKind::Corrupt:    te.name = "corrupt_arm"; break;
-          case FaultKind::Drop:       te.name = "drop_arm"; break;
-          case FaultKind::RandomLinks: te.name = "random_links"; break;
+          case FaultKind::LinkFail:     te.name = "link_fail"; break;
+          case FaultKind::RouterFail:   te.name = "router_fail"; break;
+          case FaultKind::Corrupt:      te.name = "corrupt_arm"; break;
+          case FaultKind::Drop:         te.name = "drop_arm"; break;
+          case FaultKind::RandomLinks:  te.name = "random_links"; break;
+          case FaultKind::LinkOutage:   te.name = "link_outage"; break;
+          case FaultKind::RouterOutage: te.name = "router_outage"; break;
+          case FaultKind::Flaky:        te.name = "flaky_arm"; break;
+          case FaultKind::FlakyLinks:   te.name = "flaky_links"; break;
         }
-        te.router = e.kind == FaultKind::RouterFail ? e.router : e.src;
-        te.arg0 = e.kind == FaultKind::RouterFail ? -1 : e.dst;
+        const bool routerKind = e.kind == FaultKind::RouterFail ||
+                                e.kind == FaultKind::RouterOutage;
+        te.router = routerKind ? e.router : e.src;
+        te.arg0 = routerKind ? -1 : e.dst;
         t->record(te);
     }
     if (obs::Forensics *f = net_.forensics())
         f->noteFault(now, describe(e));
 }
 
+bool
+FaultInjector::corruptAttempt(std::size_t li, Cycle t)
+{
+    if (t < outageEnd_[li])
+        return true;
+    if (t < flakyEnd_[li]) {
+        const std::uint64_t draw = mix64(flakySeed_[li] ^ ++flakyTx_[li]);
+        if (toUnit(draw) < flakyProb_[li])
+            return true;
+    }
+    return false;
+}
+
 void
-FaultInjector::onFlitTraverse(int li, Packet &pkt, Cycle now)
+FaultInjector::traceFlitEvent(const char *name, int li, const Packet &pkt,
+                              Cycle now, std::int64_t arg1)
+{
+    obs::Tracer *t = net_.trace();
+    if (!t)
+        return;
+    obs::TraceEvent te;
+    te.cycle = now;
+    te.category = obs::kCatFault;
+    te.name = name;
+    te.router = net_.link(li).spec().src;
+    te.packet = pkt.id;
+    te.arg0 = li;
+    te.arg1 = arg1;
+    t->record(te);
+}
+
+Cycle
+FaultInjector::onFlitTraverse(int li, Flit &f, Packet &pkt, Cycle now)
 {
     const auto i = static_cast<std::size_t>(li);
+    bool oneShot = false;
     if (pendingCorrupt_[i] > 0) {
         --pendingCorrupt_[i];
-        pkt.corrupted = true;
-        if (obs::Tracer *t = net_.trace()) {
-            obs::TraceEvent te;
-            te.cycle = now;
-            te.category = obs::kCatFault;
-            te.name = "flit_corrupt";
-            te.router = net_.link(li).spec().src;
-            te.packet = pkt.id;
-            te.arg0 = li;
-            t->record(te);
+        oneShot = true;
+    }
+    const bool transientWindow = now < outageEnd_[i] || now < flakyEnd_[i];
+
+    Cycle extra = 0;
+    if (oneShot || transientWindow) {
+        const ReliabilityConfig &rel = net_.config().reliability;
+        if (!rel.enabled) {
+            // Legacy semantics: one transmission, corruption delivered
+            // as-is.
+            if (oneShot || corruptAttempt(i, now)) {
+                pkt.corrupted = true;
+                f.payload ^= kPoison;
+                traceFlitEvent("flit_corrupt", li, pkt, now, -1);
+            }
+        } else {
+            // Link-level retry, modeled analytically: attempt k starts
+            // one link round trip (downstream CRC check + NACK + resend)
+            // after attempt k-1, so a window that ends mid-recovery
+            // stops corrupting later attempts. The one-shot arm
+            // corrupts only the first attempt.
+            const Cycle rtt = 2 * net_.link(li).latency() + 1;
+            int n = 0;
+            while (n <= rel.maxLinkRetries &&
+                   ((n == 0 && oneShot) || corruptAttempt(i, now + n * rtt)))
+                ++n;
+            if (n > 0) {
+                Stats &st = net_.stats();
+                st.crcFails += static_cast<std::uint64_t>(n);
+                if (n <= rel.maxLinkRetries) {
+                    // Recovered at the link layer: the flit arrives
+                    // clean, n round trips late.
+                    st.linkRetries += static_cast<std::uint64_t>(n);
+                    pkt.linkRetried = true;
+                    traceFlitEvent("flit_retry", li, pkt, now, n);
+                    extra = static_cast<Cycle>(n) * rtt;
+                } else {
+                    // Retry budget exhausted: deliver the last attempt
+                    // poisoned and let the end-to-end layer recover the
+                    // packet.
+                    st.linkRetries +=
+                        static_cast<std::uint64_t>(rel.maxLinkRetries);
+                    pkt.corrupted = true;
+                    f.payload ^= kPoison;
+                    traceFlitEvent("flit_corrupt", li, pkt, now, n);
+                }
+            }
         }
     }
+
     if (pendingDrop_[i] > 0) {
         --pendingDrop_[i];
         pkt.faultDropped = true;
-        if (obs::Tracer *t = net_.trace()) {
-            obs::TraceEvent te;
-            te.cycle = now;
-            te.category = obs::kCatFault;
-            te.name = "flit_drop";
-            te.router = net_.link(li).spec().src;
-            te.packet = pkt.id;
-            te.arg0 = li;
-            t->record(te);
-        }
+        traceFlitEvent("flit_drop", li, pkt, now, -1);
     }
+    return extra;
+}
+
+void
+FaultInjector::onRotationTraverse(int li, Packet &pkt, Cycle now, int flits)
+{
+    const auto i = static_cast<std::size_t>(li);
+    if (pendingDrop_[i] > 0) {
+        --pendingDrop_[i];
+        pkt.faultDropped = true;
+        traceFlitEvent("flit_drop", li, pkt, now, -1);
+    }
+
+    bool oneShot = false;
+    if (pendingCorrupt_[i] > 0) {
+        --pendingCorrupt_[i];
+        oneShot = true;
+    }
+    if (!oneShot && now >= outageEnd_[i] && now >= flakyEnd_[i])
+        return;
+
+    // Rotations stream the whole packet and are never retried (a spin
+    // cannot stall on a NACK without breaking the synchronized move),
+    // so any corrupted flit poisons the packet for the end-to-end layer.
+    int bad = oneShot ? 1 : 0;
+    for (int k = 0; k < flits; ++k)
+        bad += corruptAttempt(i, now + static_cast<Cycle>(k));
+    if (bad == 0)
+        return;
+    pkt.corrupted = true;
+    if (net_.config().reliability.enabled)
+        net_.stats().crcFails += static_cast<std::uint64_t>(bad);
+    traceFlitEvent("flit_corrupt", li, pkt, now, bad);
 }
 
 obs::JsonValue

@@ -3,14 +3,19 @@
  * Runtime fault injector: applies a FaultSchedule to a live Network.
  *
  * The injector owns the fault state the rest of the simulator queries:
- * which links have failed, which routers are dead, and the degraded
- * routing tables (a Topology rebuilt with finalizePartial() after each
- * permanent fault). Failure semantics are *drain-based*: a failed link
- * or dead router stops accepting NEW commitments (routing filter, NIC
- * admission gate, SM launch drop) while packets that already hold a
- * granted VC drain normally -- so flow control never wedges on credits
- * that will not return. With no injector attached every hook is a null
- * check and behavior is bit-identical to the fault-free simulator.
+ * which links have failed, which routers are dead, which links are in a
+ * transient outage or flaky window, and the degraded routing tables (a
+ * Topology rebuilt with finalizePartial() after each permanent fault).
+ * Permanent-failure semantics are *drain-based*: a failed link or dead
+ * router stops accepting NEW commitments (routing filter, NIC admission
+ * gate, SM launch drop) while packets that already hold a granted VC
+ * drain normally -- so flow control never wedges on credits that will
+ * not return. Transient outages and flaky windows are *data-plane*
+ * corruption: the link keeps moving flits (control is assumed on a
+ * protected sideband) but garbles them, and the reliability layer
+ * (link-level retry + NIC retransmission, docs/FAULTS.md) recovers.
+ * With no injector attached every hook is a null check and behavior is
+ * bit-identical to the fault-free simulator.
  */
 
 #ifndef SPINNOC_FAULT_FAULTINJECTOR_HH
@@ -76,9 +81,30 @@ class FaultInjector
     }
     /// @}
 
-    /** Transient-fault hook: called by Router::sendFlit for every flit
-     *  entering link @p li; consumes pending corrupt/drop arms. */
-    void onFlitTraverse(int li, Packet &pkt, Cycle now);
+    /**
+     * Transient-fault hook: called by Router::sendFlit for every flit
+     * entering link @p li. Consumes pending corrupt/drop arms and
+     * evaluates the link's outage / flaky state. With the reliability
+     * layer off, a corrupted transmission poisons the flit in place
+     * (legacy behavior). With it on, corrupted transmissions are
+     * retried up to reliability.maxLinkRetries times -- modeled
+     * analytically as an arrival delay of one link round trip per
+     * failed attempt -- and only a retry-exhausted flit is delivered
+     * poisoned for the end-to-end layer to recover.
+     *
+     * @return extra arrival delay in cycles (0 on the fault-free path).
+     */
+    Cycle onFlitTraverse(int li, Flit &f, Packet &pkt, Cycle now);
+
+    /**
+     * Transient-fault hook for the SPIN rotation path
+     * (Router::forceSend): consumes pending corrupt/drop arms and
+     * evaluates outage / flaky corruption for @p flits rotated flits.
+     * Rotations are never retried (the synchronized spin cannot stall
+     * on a NACK); a corrupted rotation delivers the packet poisoned
+     * and, with reliability on, the end-to-end layer recovers it.
+     */
+    void onRotationTraverse(int li, Packet &pkt, Cycle now, int flits);
 
     /** Concrete (macro-expanded) event list, sorted by cycle. */
     const std::vector<FaultEvent> &events() const { return concrete_; }
@@ -93,8 +119,16 @@ class FaultInjector
     void applyLinkFail(const FaultEvent &e);
     void applyRouterFail(const FaultEvent &e, Cycle now);
     void applyTransient(const FaultEvent &e);
+    void applyOutage(const FaultEvent &e);
+    void applyFlaky(const FaultEvent &e);
     void failLinkIndex(int li);
     void noteApplied(const FaultEvent &e, Cycle now);
+    /** One transmission attempt on link @p li at cycle @p t: corrupted
+     *  by an active outage window or a flaky Bernoulli hit? Consumes
+     *  one draw from the link's flaky stream when its window is live. */
+    bool corruptAttempt(std::size_t li, Cycle t);
+    void traceFlitEvent(const char *name, int li, const Packet &pkt,
+                        Cycle now, std::int64_t arg1);
 
     Network &net_;
     FaultSchedule schedule_;
@@ -109,6 +143,18 @@ class FaultInjector
     /** Per-link armed transient counts, consumed by onFlitTraverse. */
     std::vector<int> pendingCorrupt_;
     std::vector<int> pendingDrop_;
+
+    /** Per-link outage window end (exclusive); 0 = never in outage. */
+    std::vector<Cycle> outageEnd_;
+    /** Per-link flaky window end (exclusive), probability and Bernoulli
+     *  stream state. The transmission counter is advanced only by the
+     *  shard that owns the link's source router (or by serial phases),
+     *  so the stream is single-writer and bit-deterministic for any
+     *  thread count. */
+    std::vector<Cycle> flakyEnd_;
+    std::vector<double> flakyProb_;
+    std::vector<std::uint64_t> flakySeed_;
+    std::vector<std::uint64_t> flakyTx_;
 
     /** Rebuilt after each tick that applied a permanent event. */
     std::shared_ptr<const Topology> degraded_;

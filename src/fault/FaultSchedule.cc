@@ -35,9 +35,25 @@ kindFromString(const std::string &s, FaultKind &out)
         out = FaultKind::Drop;
     else if (s == "random-links")
         out = FaultKind::RandomLinks;
+    else if (s == "link-outage")
+        out = FaultKind::LinkOutage;
+    else if (s == "router-outage")
+        out = FaultKind::RouterOutage;
+    else if (s == "flaky")
+        out = FaultKind::Flaky;
+    else if (s == "flaky-links")
+        out = FaultKind::FlakyLinks;
     else
         return false;
     return true;
+}
+
+/** True for kinds the legacy spin-faults/v1 schema does not know. */
+bool
+isV2Kind(FaultKind k)
+{
+    return k == FaultKind::LinkOutage || k == FaultKind::RouterOutage ||
+           k == FaultKind::Flaky || k == FaultKind::FlakyLinks;
 }
 
 bool
@@ -54,9 +70,24 @@ wantInt(const obs::JsonValue &ev, const char *key, std::int64_t &out,
     return true;
 }
 
+bool
+wantProb(const obs::JsonValue &ev, double &out, std::string &err,
+         std::size_t idx)
+{
+    const obs::JsonValue *v = ev.find("prob");
+    if (!v || !v->isNumber() || v->asNumber() <= 0.0 ||
+        v->asNumber() > 1.0) {
+        err = "faults: event " + std::to_string(idx) +
+              " needs a 'prob' in (0, 1]";
+        return false;
+    }
+    out = v->asNumber();
+    return true;
+}
+
 /**
  * Canonical undirected router pairs that carry at least one link, in
- * ascending (lo, hi) order -- the candidate set "random-links" picks
+ * ascending (lo, hi) order -- the candidate set the random macros pick
  * from and the unit a LinkFail event kills.
  */
 std::vector<std::pair<RouterId, RouterId>>
@@ -73,17 +104,38 @@ linkPairs(const Topology &topo)
     return pairs;
 }
 
+/** Draw @p count distinct pairs from @p pairs without replacement. */
+std::vector<std::pair<RouterId, RouterId>>
+drawPairs(std::vector<std::pair<RouterId, RouterId>> remaining, int count,
+          std::uint64_t seed)
+{
+    std::vector<std::pair<RouterId, RouterId>> out;
+    std::uint64_t s = seed;
+    const int n = std::min<int>(count, static_cast<int>(remaining.size()));
+    for (int i = 0; i < n; ++i) {
+        const std::size_t pick = splitmix64(s++) % remaining.size();
+        out.push_back(remaining[pick]);
+        remaining.erase(remaining.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+    }
+    return out;
+}
+
 } // namespace
 
 const char *
 toString(FaultKind k)
 {
     switch (k) {
-      case FaultKind::LinkFail:    return "link";
-      case FaultKind::RouterFail:  return "router";
-      case FaultKind::Corrupt:     return "corrupt";
-      case FaultKind::Drop:        return "drop";
-      case FaultKind::RandomLinks: return "random-links";
+      case FaultKind::LinkFail:     return "link";
+      case FaultKind::RouterFail:   return "router";
+      case FaultKind::Corrupt:      return "corrupt";
+      case FaultKind::Drop:         return "drop";
+      case FaultKind::RandomLinks:  return "random-links";
+      case FaultKind::LinkOutage:   return "link-outage";
+      case FaultKind::RouterOutage: return "router-outage";
+      case FaultKind::Flaky:        return "flaky";
+      case FaultKind::FlakyLinks:   return "flaky-links";
     }
     return "?";
 }
@@ -106,6 +158,20 @@ describe(const FaultEvent &e)
                std::to_string(e.dst) + at;
       case FaultKind::RandomLinks:
         return std::to_string(e.count) + " random links" + at;
+      case FaultKind::LinkOutage:
+        return "link " + std::to_string(e.src) + "<->" +
+               std::to_string(e.dst) + " outage for " +
+               std::to_string(e.duration) + " cycles" + at;
+      case FaultKind::RouterOutage:
+        return "router " + std::to_string(e.router) + " outage for " +
+               std::to_string(e.duration) + " cycles" + at;
+      case FaultKind::Flaky:
+        return "flaky link " + std::to_string(e.src) + "<->" +
+               std::to_string(e.dst) + " for " +
+               std::to_string(e.window) + " cycles" + at;
+      case FaultKind::FlakyLinks:
+        return std::to_string(e.count) + " flaky links for " +
+               std::to_string(e.window) + " cycles" + at;
     }
     return "?";
 }
@@ -131,6 +197,28 @@ FaultEvent::toJson() const
         o.set("count", JsonValue(count));
         o.set("seed", JsonValue(seed));
         break;
+      case FaultKind::LinkOutage:
+        o.set("src", JsonValue(src));
+        o.set("dst", JsonValue(dst));
+        o.set("duration", JsonValue(duration));
+        break;
+      case FaultKind::RouterOutage:
+        o.set("router", JsonValue(router));
+        o.set("duration", JsonValue(duration));
+        break;
+      case FaultKind::Flaky:
+        o.set("src", JsonValue(src));
+        o.set("dst", JsonValue(dst));
+        o.set("window", JsonValue(window));
+        o.set("prob", JsonValue(prob));
+        o.set("seed", JsonValue(seed));
+        break;
+      case FaultKind::FlakyLinks:
+        o.set("count", JsonValue(count));
+        o.set("seed", JsonValue(seed));
+        o.set("window", JsonValue(window));
+        o.set("prob", JsonValue(prob));
+        break;
     }
     return o;
 }
@@ -144,8 +232,11 @@ FaultSchedule::fromJson(const obs::JsonValue &doc, FaultSchedule &out,
         return false;
     }
     const obs::JsonValue &schema = doc["schema"];
-    if (!schema.isString() || schema.asString() != kSchema) {
-        err = std::string("faults: 'schema' must be '") + kSchema + "'";
+    const bool v1 = schema.isString() && schema.asString() == kSchemaV1;
+    if (!schema.isString() ||
+        (!v1 && schema.asString() != kSchema)) {
+        err = std::string("faults: 'schema' must be '") + kSchema +
+              "' (or the legacy '" + kSchemaV1 + "')";
         return false;
     }
     const obs::JsonValue *events = doc.find("events");
@@ -168,7 +259,13 @@ FaultSchedule::fromJson(const obs::JsonValue &doc, FaultSchedule &out,
             !kindFromString(kind.asString(), e.kind)) {
             err = "faults: event " + std::to_string(i) +
                   " has unknown kind (want link, router, corrupt, "
-                  "drop, or random-links)";
+                  "drop, random-links, link-outage, router-outage, "
+                  "flaky, or flaky-links)";
+            return false;
+        }
+        if (v1 && isV2Kind(e.kind)) {
+            err = "faults: event " + std::to_string(i) + " kind '" +
+                  kind.asString() + "' needs schema '" + kSchema + "'";
             return false;
         }
         const obs::JsonValue *cyc = ev.find("cycle");
@@ -208,6 +305,75 @@ FaultSchedule::fromJson(const obs::JsonValue &doc, FaultSchedule &out,
             if (!wantInt(ev, "seed", v, err, i))
                 return false;
             e.seed = static_cast<std::uint64_t>(v);
+            break;
+          case FaultKind::LinkOutage:
+            if (!wantInt(ev, "src", v, err, i))
+                return false;
+            e.src = static_cast<RouterId>(v);
+            if (!wantInt(ev, "dst", v, err, i))
+                return false;
+            e.dst = static_cast<RouterId>(v);
+            if (!wantInt(ev, "duration", v, err, i) || v < 1) {
+                if (err.empty())
+                    err = "faults: event " + std::to_string(i) +
+                          " needs duration >= 1";
+                return false;
+            }
+            e.duration = static_cast<Cycle>(v);
+            break;
+          case FaultKind::RouterOutage:
+            if (!wantInt(ev, "router", v, err, i))
+                return false;
+            e.router = static_cast<RouterId>(v);
+            if (!wantInt(ev, "duration", v, err, i) || v < 1) {
+                if (err.empty())
+                    err = "faults: event " + std::to_string(i) +
+                          " needs duration >= 1";
+                return false;
+            }
+            e.duration = static_cast<Cycle>(v);
+            break;
+          case FaultKind::Flaky:
+            if (!wantInt(ev, "src", v, err, i))
+                return false;
+            e.src = static_cast<RouterId>(v);
+            if (!wantInt(ev, "dst", v, err, i))
+                return false;
+            e.dst = static_cast<RouterId>(v);
+            if (!wantInt(ev, "window", v, err, i) || v < 1) {
+                if (err.empty())
+                    err = "faults: event " + std::to_string(i) +
+                          " needs window >= 1";
+                return false;
+            }
+            e.window = static_cast<Cycle>(v);
+            if (!wantProb(ev, e.prob, err, i))
+                return false;
+            if (const obs::JsonValue *sd = ev.find("seed");
+                sd && sd->isNumber())
+                e.seed = sd->asU64();
+            break;
+          case FaultKind::FlakyLinks:
+            if (!wantInt(ev, "count", v, err, i))
+                return false;
+            if (v < 1) {
+                err = "faults: event " + std::to_string(i) +
+                      " needs count >= 1";
+                return false;
+            }
+            e.count = static_cast<int>(v);
+            if (!wantInt(ev, "seed", v, err, i))
+                return false;
+            e.seed = static_cast<std::uint64_t>(v);
+            if (!wantInt(ev, "window", v, err, i) || v < 1) {
+                if (err.empty())
+                    err = "faults: event " + std::to_string(i) +
+                          " needs window >= 1";
+                return false;
+            }
+            e.window = static_cast<Cycle>(v);
+            if (!wantProb(ev, e.prob, err, i))
+                return false;
             break;
         }
         s.events.push_back(e);
@@ -260,7 +426,9 @@ FaultSchedule::validate(const Topology &topo) const
         switch (e.kind) {
           case FaultKind::LinkFail:
           case FaultKind::Corrupt:
-          case FaultKind::Drop: {
+          case FaultKind::Drop:
+          case FaultKind::LinkOutage:
+          case FaultKind::Flaky: {
             if (e.src < 0 || e.src >= nr || e.dst < 0 || e.dst >= nr)
                 return at + ": link endpoint out of range";
             const auto key = std::make_pair(std::min(e.src, e.dst),
@@ -272,10 +440,12 @@ FaultSchedule::validate(const Topology &topo) const
             break;
           }
           case FaultKind::RouterFail:
+          case FaultKind::RouterOutage:
             if (e.router < 0 || e.router >= nr)
                 return at + ": router out of range";
             break;
           case FaultKind::RandomLinks:
+          case FaultKind::FlakyLinks:
             if (e.count < 1 ||
                 e.count > static_cast<int>(pairs.size())) {
                 return at + ": count must be in [1, " +
@@ -292,27 +462,30 @@ FaultSchedule::concretize(const Topology &topo) const
 {
     std::vector<FaultEvent> out;
     for (const FaultEvent &e : events) {
-        if (e.kind != FaultKind::RandomLinks) {
+        if (e.kind != FaultKind::RandomLinks &&
+            e.kind != FaultKind::FlakyLinks) {
             out.push_back(e);
             continue;
         }
         // Seed-derived selection of distinct physical links: draw from
         // the canonical sorted pair list without replacement.
-        auto remaining = linkPairs(topo);
-        std::uint64_t s = e.seed;
-        const int n = std::min<int>(e.count,
-                                    static_cast<int>(remaining.size()));
-        for (int i = 0; i < n; ++i) {
-            const std::size_t pick =
-                splitmix64(s++) % remaining.size();
+        const auto picked = drawPairs(linkPairs(topo), e.count, e.seed);
+        for (std::size_t i = 0; i < picked.size(); ++i) {
             FaultEvent f;
             f.cycle = e.cycle;
-            f.kind = FaultKind::LinkFail;
-            f.src = remaining[pick].first;
-            f.dst = remaining[pick].second;
+            f.src = picked[i].first;
+            f.dst = picked[i].second;
+            if (e.kind == FaultKind::RandomLinks) {
+                f.kind = FaultKind::LinkFail;
+            } else {
+                f.kind = FaultKind::Flaky;
+                f.window = e.window;
+                f.prob = e.prob;
+                // Per-link Bernoulli stream seed, decorrelated from the
+                // draw order so adding a link never reshuffles others.
+                f.seed = splitmix64(e.seed ^ (0x5f1aCull + i));
+            }
             out.push_back(f);
-            remaining.erase(remaining.begin() +
-                            static_cast<std::ptrdiff_t>(pick));
         }
     }
     std::stable_sort(out.begin(), out.end(),

@@ -2,13 +2,16 @@
  * @file
  * Declarative fault schedule: which links and routers fail, and when.
  *
- * A schedule is a JSON document (schema "spin-faults/v1", reference in
+ * A schedule is a JSON document (schema "spin-faults/v2", reference in
  * docs/FAULTS.md) listing timed events. Permanent events (link and
  * router failures) degrade the topology; transient events (corrupt,
- * drop) tag individual flits in flight. Schedules are deterministic:
- * a "random-links" event expands into concrete link failures from its
- * own seed, so the same spec + seed produces bit-identical runs for
- * any worker count -- the same contract campaign cells obey.
+ * drop, time-bounded outages, flaky links) tag individual flits in
+ * flight. Schedules are deterministic: the "random-links" and
+ * "flaky-links" macros expand into concrete events from their own
+ * seeds, so the same spec + seed produces bit-identical runs for any
+ * worker count -- the same contract campaign cells obey. Documents
+ * declaring the older "spin-faults/v1" schema still parse; the v2-only
+ * kinds (outages, flaky links) require the v2 declaration.
  */
 
 #ifndef SPINNOC_FAULT_FAULTSCHEDULE_HH
@@ -29,16 +32,23 @@ namespace spin::fault
 /** Fault event kinds (JSON "kind" values in docs/FAULTS.md). */
 enum class FaultKind : std::uint8_t
 {
-    LinkFail,    //!< permanent: both directions between src and dst die
-    RouterFail,  //!< permanent: the router and all its links die
-    Corrupt,     //!< transient: tag the next flit on (src, dst) corrupted
-    Drop,        //!< transient: the next packet on (src, dst) is
-                 //!< discarded by the destination NIC on ejection
-    RandomLinks, //!< macro: seed-derived set of LinkFail events
+    LinkFail,     //!< permanent: both directions between src and dst die
+    RouterFail,   //!< permanent: the router and all its links die
+    Corrupt,      //!< transient: tag the next flit on (src, dst) corrupted
+    Drop,         //!< transient: the next packet on (src, dst) is
+                  //!< discarded by the destination NIC on ejection
+    RandomLinks,  //!< macro: seed-derived set of LinkFail events
+    LinkOutage,   //!< transient: every flit crossing (src, dst) in
+                  //!< [cycle, cycle + duration) is corrupted
+    RouterOutage, //!< transient: LinkOutage on every link of the router
+    Flaky,        //!< transient: per-flit corruption probability on
+                  //!< (src, dst) over [cycle, cycle + window)
+    FlakyLinks,   //!< macro: seed-derived set of Flaky events
 };
 
 /** JSON name of @p k ("link", "router", "corrupt", "drop",
- *  "random-links"). */
+ *  "random-links", "link-outage", "router-outage", "flaky",
+ *  "flaky-links"). */
 const char *toString(FaultKind k);
 
 struct FaultEvent;
@@ -51,15 +61,22 @@ struct FaultEvent
 {
     Cycle cycle = 0;
     FaultKind kind = FaultKind::LinkFail;
-    /** Link endpoints (LinkFail / Corrupt / Drop). */
+    /** Link endpoints (LinkFail / Corrupt / Drop / LinkOutage / Flaky). */
     RouterId src = kInvalidId;
     RouterId dst = kInvalidId;
-    /** Failing router (RouterFail). */
+    /** Failing router (RouterFail / RouterOutage). */
     RouterId router = kInvalidId;
-    /** Number of links to fail (RandomLinks). */
+    /** Number of links to pick (RandomLinks / FlakyLinks). */
     int count = 0;
-    /** Selection seed (RandomLinks). */
+    /** Selection seed (RandomLinks / FlakyLinks); also the Bernoulli
+     *  stream seed of Flaky events. */
     std::uint64_t seed = 0;
+    /** Outage length in cycles (LinkOutage / RouterOutage). */
+    Cycle duration = 0;
+    /** Flaky window length in cycles (Flaky / FlakyLinks). */
+    Cycle window = 0;
+    /** Per-flit corruption probability in (0, 1] (Flaky / FlakyLinks). */
+    double prob = 0.0;
 
     obs::JsonValue toJson() const;
 };
@@ -67,7 +84,9 @@ struct FaultEvent
 /** See file comment. */
 struct FaultSchedule
 {
-    static constexpr const char *kSchema = "spin-faults/v1";
+    static constexpr const char *kSchema = "spin-faults/v2";
+    /** Still-accepted legacy schema (permanent + one-shot kinds only). */
+    static constexpr const char *kSchemaV1 = "spin-faults/v1";
 
     std::vector<FaultEvent> events;
 
@@ -87,9 +106,10 @@ struct FaultSchedule
 
     /**
      * Expand macros into concrete events against @p topo:
-     * "random-links" becomes its seed-derived LinkFail events; other
-     * events pass through. The result is stably sorted by cycle and
-     * fully deterministic.
+     * "random-links" becomes its seed-derived LinkFail events and
+     * "flaky-links" its seed-derived Flaky events; other events pass
+     * through. The result is stably sorted by cycle and fully
+     * deterministic.
      */
     std::vector<FaultEvent> concretize(const Topology &topo) const;
 
@@ -102,9 +122,10 @@ struct FaultSchedule
  * The surviving topology after the permanent events in @p concrete:
  * every link between a failed pair (both directions, parallel links
  * included) and every link of a failed router is removed; routers and
- * NIC attachments keep their ids. The result is finalized with
- * finalizePartial(), so distance() returns -1 for disconnected pairs
- * instead of failing the strong-connectivity check.
+ * NIC attachments keep their ids. Transient events (outages, flaky
+ * links, one-shot arms) never remove anything here. The result is
+ * finalized with finalizePartial(), so distance() returns -1 for
+ * disconnected pairs instead of failing the strong-connectivity check.
  */
 std::shared_ptr<const Topology>
 degradedTopology(const Topology &base,

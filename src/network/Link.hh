@@ -57,8 +57,28 @@ class Link
     void
     pushFlit(Cycle now, LinkFlit lf)
     {
+        pushFlitDelayed(now, 0, std::move(lf));
+    }
+
+    /**
+     * A flit enters the wire at @p now but arrives @p extra cycles
+     * late -- the link-retry layer charges recovered transmissions this
+     * way (docs/FAULTS.md). Arrivals stay in order: a flit never
+     * overtakes an earlier, retry-delayed one (the floor below). With
+     * extra == 0 the floor is the identity, because normal arrivals on
+     * one link already strictly increase (the wire admits one flit per
+     * cycle), so the fault-free path is behavior-identical.
+     */
+    void
+    pushFlitDelayed(Cycle now, Cycle extra, LinkFlit lf)
+    {
         occupyFlit(now, now);
-        flits_.push(now + spec_.latency, std::move(lf));
+        Cycle arrival = now + spec_.latency + extra;
+        if (everArrived_ && arrival <= lastArrival_)
+            arrival = lastArrival_ + 1;
+        lastArrival_ = arrival;
+        everArrived_ = true;
+        flits_.push(arrival, std::move(lf));
     }
 
     /**
@@ -71,8 +91,12 @@ class Link
     {
         occupyFlit(now, now + lfs.size() - 1);
         Cycle arrival = now + spec_.latency;
+        if (everArrived_ && arrival <= lastArrival_)
+            arrival = lastArrival_ + 1;
         for (LinkFlit &lf : lfs)
             flits_.push(arrival++, std::move(lf));
+        lastArrival_ = arrival - 1;
+        everArrived_ = true;
     }
 
     std::vector<LinkFlit> drainFlits(Cycle now) { return flits_.drain(now); }
@@ -201,6 +225,9 @@ class Link
     DelayLine<CreditMsg> credits_;
     Cycle flitBusyUntil_ = 0;
     bool everBusy_ = false;
+    /** Latest scheduled flit arrival (the in-order floor above). */
+    Cycle lastArrival_ = 0;
+    bool everArrived_ = false;
     Cycle smBusyAt_ = kNeverCycle;
     bool failed_ = false;
     std::uint64_t flitUses_ = 0;

@@ -171,6 +171,13 @@ Network::step()
         runSharded([this, now](int s) { drainWiresShard(s, now); });
         for (auto &np : nics_)
             np->drainEjectWire(now);
+        // End-to-end reliability timers ride the same serial slot:
+        // retransmission allocates packet ids and touches peer NICs
+        // (acks), so it needs the canonical node order too.
+        if (cfg_.reliability.enabled) {
+            for (auto &np : nics_)
+                np->reliabilityStep(now);
+        }
     }
 
     // 2-3. SPIN phases.
@@ -371,6 +378,27 @@ Network::offerPacket(const PacketPtr &pkt)
     stats_.flitsCreated += pkt->sizeFlits;
     ++inFlight_;
     nics_[pkt->src]->offer(pkt);
+}
+
+PacketPtr
+Network::makeRetransmit(const PacketPtr &orig)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = nextPacketId_++;
+    pkt->src = orig->src;
+    pkt->dest = orig->dest;
+    pkt->destRouter = orig->destRouter;
+    pkt->vnet = orig->vnet;
+    pkt->sizeFlits = orig->sizeFlits;
+    // Latency keeps measuring from the first creation: recovery time is
+    // part of the packet's end-to-end story.
+    pkt->createCycle = orig->createCycle;
+    pkt->reliable = true;
+    pkt->e2eSeq = orig->e2eSeq;
+    pkt->attempt = orig->attempt + 1;
+    pkt->origId = orig->origId;
+    offerPacket(pkt);
+    return pkt;
 }
 
 void

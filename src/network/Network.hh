@@ -188,6 +188,13 @@ class Network
                          int size_flits);
     /** Hand a packet to its source NIC. */
     void offerPacket(const PacketPtr &pkt);
+    /**
+     * Clone @p orig as an end-to-end retransmission and offer it to the
+     * source NIC: fresh packet id, same flow identity (src, dest, vnet,
+     * size, e2eSeq, origId, createCycle), attempt bumped. Serial-phase
+     * only (allocates a packet id). Reliability layer, docs/FAULTS.md.
+     */
+    PacketPtr makeRetransmit(const PacketPtr &orig);
     /** Callback fired when a packet fully ejects (coherence traffic). */
     void setEjectListener(std::function<void(const PacketPtr &)> fn);
     /** Called by NICs on tail ejection. */

@@ -10,11 +10,14 @@
 #define SPINNOC_NETWORK_NIC_HH
 
 #include <deque>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/Packet.hh"
 #include "common/Types.hh"
 #include "network/Link.hh"
+#include "obs/Json.hh"
 #include "router/OutputUnit.hh"
 #include "sim/DelayLine.hh"
 
@@ -22,6 +25,16 @@ namespace spin
 {
 
 class Network;
+
+/** End-to-end acknowledgement riding the protected sideband back to the
+ *  source NIC (reliability layer, docs/FAULTS.md). */
+struct AckMsg
+{
+    /** Destination node of the acked flow (the acking NIC). */
+    NodeId dest = kInvalidId;
+    /** Acked per-flow sequence number. */
+    std::uint64_t seq = 0;
+};
 
 /** See file comment. NIC links have 1-cycle latency in each direction. */
 class Nic
@@ -57,12 +70,31 @@ class Nic
     void drainWires(Cycle now);
     /** Try to push one flit of the current packet toward the router. */
     void injectStep(Cycle now);
+    /**
+     * End-to-end reliability phase (reliability.enabled only): drain
+     * arriving acks, fire expired retransmit timers (exponential
+     * backoff, escalation to abandonment past maxRetransmits), and run
+     * the livelock watchdog. Serial phase -- retransmission allocates
+     * packet ids and must happen in canonical NIC order.
+     */
+    void reliabilityStep(Cycle now);
     /// @}
 
     /** Called by the router side: flit ejected toward this NIC. */
     void pushEject(Cycle arrival, Flit f);
     /** Called by the router side: credit for local in-port VC @p vc. */
     void pushCredit(Cycle arrival, VcId vc, bool is_free);
+    /** Called by a destination NIC (serial eject phase): ack of
+     *  sequence @p seq on this NIC's flow to @p dest. */
+    void pushAck(Cycle arrival, NodeId dest, std::uint64_t seq);
+
+    /// @name Reliability inspection (forensics, chaos audits)
+    /// @{
+    /** Unacked packets tracked for retransmission. */
+    std::size_t retxQueueLength() const { return retx_.size(); }
+    /** Retransmit-queue state document (watchdog forensics dumps). */
+    obs::JsonValue retxJson(Cycle now) const;
+    /// @}
 
     /** Upstream view of the router's local in-port VCs. */
     const OutputUnit &tracker() const { return tracker_; }
@@ -122,6 +154,40 @@ class Nic
     DelayLine<LinkFlit> injWire_;
     DelayLine<Flit> ejectWire_;
     DelayLine<CreditMsg> credWire_;
+
+    /// @name End-to-end reliability state (reliability.enabled)
+    /// @{
+    /** One unacked packet; the PacketPtr is swapped for the newest
+     *  retransmitted copy on each timeout. */
+    struct RetxEntry
+    {
+        PacketPtr pkt;
+        /** Watchdog already fired for this packet (one-shot). */
+        bool alarmed = false;
+    };
+    /** Sent-but-unacked packets, oldest first. */
+    std::deque<RetxEntry> retx_;
+    /** Next sequence number per destination node (this NIC as source).
+     *  Looked up only (never iterated), so the map is deterministic. */
+    std::unordered_map<NodeId, std::uint64_t> nextSeq_;
+    /** Duplicate-suppression window of one incoming flow: every
+     *  sequence < base was delivered; sparse later arrivals sit in
+     *  seen until base catches up. Protocol state, deliberately NOT
+     *  reset by beginMeasurement(). */
+    struct FlowState
+    {
+        std::uint64_t base = 0;
+        std::set<std::uint64_t> seen;
+    };
+    /** Per-source-node incoming flows (this NIC as destination). */
+    std::unordered_map<NodeId, FlowState> flows_;
+    /** Acks in flight toward this (source) NIC. */
+    DelayLine<AckMsg> ackWire_;
+    /// @}
+
+    void sendAck(const Packet &p, Cycle now);
+    void armAckDeadline(Packet &p, Cycle now) const;
+    void retireReliable(const Flit &f, Cycle now);
 
     static constexpr Cycle kNicLatency = 1;
 };

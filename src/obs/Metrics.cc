@@ -244,6 +244,13 @@ NetworkMetrics::registerBuiltins()
     c("faults.packetsLostToFaults", &s.packetsLostToFaults);
     c("faults.packetsCorrupted", &s.packetsCorrupted);
     c("faults.packetsDroppedAtNic", &s.packetsDroppedAtNic);
+    c("reliability.crcFails", &s.crcFails);
+    c("reliability.linkRetries", &s.linkRetries);
+    c("reliability.retransmits", &s.retransmits);
+    c("reliability.dupDrops", &s.dupDrops);
+    c("reliability.recoveredPackets", &s.recoveredPackets);
+    c("reliability.packetsAbandoned", &s.packetsAbandoned);
+    c("reliability.watchdogAlarms", &s.watchdogAlarms);
 
     reg_.addGauge("net.packetsInFlight", [&n]() {
         return double(n.packetsInFlight());
@@ -292,7 +299,7 @@ NetworkMetrics::record(const char *kind) const
     // Every line is self-describing: consumers validate any record in
     // isolation (check_metrics_schema.py does exactly that).
     JsonValue o = JsonValue::object();
-    o.set("schema", JsonValue("spin-metrics/v1"));
+    o.set("schema", JsonValue("spin-metrics/v2"));
     o.set("kind", JsonValue(kind));
     if (!cfg_.label.empty())
         o.set("cell", JsonValue(cfg_.label));
@@ -364,7 +371,7 @@ NetworkMetrics::emitWindow(Cycle now)
 
     std::string &b = buf_;
     b.clear();
-    b += "{\"schema\":\"spin-metrics/v1\",\"kind\":\"window\"";
+    b += "{\"schema\":\"spin-metrics/v2\",\"kind\":\"window\"";
     b += cellField_;
     b += ",\"seq\":";
     JsonValue::appendNumber(b, double(windows_));

@@ -16,7 +16,7 @@
  * NetworkMetrics owns a registry pre-populated with the network's own
  * instruments (traffic, SPIN protocol, fault counters, per-vnet VC
  * occupancy) and snapshots it every `interval` cycles into a versioned
- * `spin-metrics/v1` JSONL stream: one header record, then one record
+ * `spin-metrics/v2` JSONL stream: one header record, then one record
  * per window. All record content derives from simulation state alone,
  * so the stream is bit-identical across runs and worker counts.
  *
@@ -61,7 +61,7 @@ struct MetricsConfig
     std::string label;
 };
 
-/** Destination for spin-metrics/v1 JSONL records (one per line). */
+/** Destination for spin-metrics/v2 JSONL records (one per line). */
 class MetricsSink
 {
   public:

@@ -458,10 +458,12 @@ Router::sendFlit(PortId inport, VcId vcid)
     if (out.toNic()) {
         net_.nicAt(id_, outport).pushEject(now + 1, std::move(f));
     } else {
+        Cycle extra = 0;
         if (faults_)
-            faults_->onFlitTraverse(net_.linkIndexOf(id_, outport), *pkt,
-                                    now);
-        outLink_[outport]->pushFlit(now, LinkFlit{std::move(f), dvc});
+            extra = faults_->onFlitTraverse(
+                net_.linkIndexOf(id_, outport), f, *pkt, now);
+        outLink_[outport]->pushFlitDelayed(now, extra,
+                                           LinkFlit{std::move(f), dvc});
     }
 
     creditUpstream(inport, vcid, isTail);
@@ -571,6 +573,9 @@ Router::forceSend(PortId inport, VcId vcid, PortId outport, VcId down_vc,
     out.forceAllocate(down_vc, pkt->id, now);
     for (int i = 0; i < n; ++i)
         out.consumeCredit(down_vc);
+    if (faults_)
+        faults_->onRotationTraverse(net_.linkIndexOf(id_, outport), *pkt,
+                                    now, n);
     l->pushPacket(now, lfs);
 
     // Return credits upstream as one burst: the pop is instantaneous

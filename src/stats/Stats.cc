@@ -96,6 +96,14 @@ Stats::mergeFrom(const Stats &o)
     flitsLostToFaults += o.flitsLostToFaults;
     packetsCorrupted += o.packetsCorrupted;
     packetsDroppedAtNic += o.packetsDroppedAtNic;
+
+    crcFails += o.crcFails;
+    linkRetries += o.linkRetries;
+    retransmits += o.retransmits;
+    dupDrops += o.dupDrops;
+    recoveredPackets += o.recoveredPackets;
+    packetsAbandoned += o.packetsAbandoned;
+    watchdogAlarms += o.watchdogAlarms;
 }
 
 double
@@ -204,6 +212,16 @@ Stats::toJson() const
     fl.set("packetsCorrupted", JsonValue(packetsCorrupted));
     fl.set("packetsDroppedAtNic", JsonValue(packetsDroppedAtNic));
     o.set("faults", std::move(fl));
+
+    JsonValue rel = JsonValue::object();
+    rel.set("crcFails", JsonValue(crcFails));
+    rel.set("linkRetries", JsonValue(linkRetries));
+    rel.set("retransmits", JsonValue(retransmits));
+    rel.set("dupDrops", JsonValue(dupDrops));
+    rel.set("recoveredPackets", JsonValue(recoveredPackets));
+    rel.set("packetsAbandoned", JsonValue(packetsAbandoned));
+    rel.set("watchdogAlarms", JsonValue(watchdogAlarms));
+    o.set("reliability", std::move(rel));
 
     JsonValue derived = JsonValue::object();
     derived.set("avgLatency", JsonValue(avgLatency()));

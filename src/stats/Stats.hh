@@ -101,6 +101,25 @@ class Stats
     std::uint64_t packetsDroppedAtNic = 0;
     /// @}
 
+    /// @name End-to-end reliability (reliability.enabled, docs/FAULTS.md)
+    /// @{
+    /** Corrupted link transmissions detected by the per-hop checksum. */
+    std::uint64_t crcFails = 0;
+    /** Link-level retransmission attempts that recovered a flit. */
+    std::uint64_t linkRetries = 0;
+    /** End-to-end packet retransmissions (timeout-driven copies). */
+    std::uint64_t retransmits = 0;
+    /** Duplicate copies suppressed at the destination NIC. */
+    std::uint64_t dupDrops = 0;
+    /** Delivered packets that needed link retry or retransmission. */
+    std::uint64_t recoveredPackets = 0;
+    /** Packets abandoned after maxRetransmits attempts (escalation
+     *  ladder exhausted). */
+    std::uint64_t packetsAbandoned = 0;
+    /** Livelock-watchdog alarms (packet alive past watchdogBudget). */
+    std::uint64_t watchdogAlarms = 0;
+    /// @}
+
     /** Start of the current measurement window. */
     Cycle windowStart = 0;
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * Windowed-metrics engine and self-profiler tests: registry behavior,
- * the spin-metrics/v1 stream contract (self-describing records, header
+ * the spin-metrics/v2 stream contract (self-describing records, header
  * before windows, contiguous seq, counter-delta correctness, the
  * hand-rolled serializer's byte-compatibility with JsonValue::dump),
  * warmup reset semantics, run-to-run determinism, PhaseProfiler
@@ -130,7 +130,7 @@ TEST(NetworkMetrics, StreamIsSelfDescribingAndOrdered)
 
     // Every record is self-describing.
     for (const JsonValue &r : recs) {
-        EXPECT_EQ(r["schema"].asString(), "spin-metrics/v1");
+        EXPECT_EQ(r["schema"].asString(), "spin-metrics/v2");
         EXPECT_EQ(r["cell"].asString(), "unit-cell");
         EXPECT_FALSE(r["kind"].asString().empty());
     }
@@ -415,6 +415,13 @@ TEST(StatsMerge, MergesEveryField)
     proto.flitsLostToFaults = next();
     proto.packetsCorrupted = next();
     proto.packetsDroppedAtNic = next();
+    proto.crcFails = next();
+    proto.linkRetries = next();
+    proto.retransmits = next();
+    proto.dupDrops = next();
+    proto.recoveredPackets = next();
+    proto.packetsAbandoned = next();
+    proto.watchdogAlarms = next();
     proto.windowStart = next();
 
     Stats merged;

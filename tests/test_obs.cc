@@ -691,7 +691,8 @@ TEST(StatsJson, KeyOrderIsDeterministic)
     for (const auto &m : j.members())
         keys.push_back(m.first);
     const std::vector<std::string> expected = {
-        "traffic", "spin", "baseline", "faults", "derived", "windowStart"};
+        "traffic", "spin", "baseline", "faults", "reliability",
+        "derived", "windowStart"};
     EXPECT_EQ(keys, expected);
 
     // Percentiles on a run with no retired packets stay well-defined.

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a spin-metrics/v1 JSONL stream (the --metrics output).
+"""Validate a spin-metrics/v2 JSONL stream (the --metrics output).
 
 Every line is one self-describing record. Per stream (a stream is all
 records sharing one ``cell`` label, or the unlabeled records):
@@ -30,7 +30,11 @@ import argparse
 import json
 import sys
 
-SCHEMA = "spin-metrics/v1"
+# v2 added the reliability.* counters (crcFails, linkRetries,
+# retransmits, dupDrops, recoveredPackets, packetsAbandoned,
+# watchdogAlarms). v1 streams predate them and fail here by
+# design: regenerate the capture rather than mixing versions.
+SCHEMA = "spin-metrics/v2"
 KINDS = ("header", "window", "measurement-begin", "finish")
 
 HEADER_KEYS = ("interval", "startCycle", "config", "counters", "gauges",
@@ -42,7 +46,7 @@ DERIVED_KEYS = ("throughput", "latencyAvg", "latencyP50", "latencyP99")
 
 def fail(msg):
     print(f"check_metrics_schema: {msg}", file=sys.stderr)
-    print("The stream does not match the spin-metrics/v1 contract "
+    print("The stream does not match the spin-metrics/v2 contract "
           "(docs/OBSERVABILITY.md). If the producer changed "
           "deliberately, bump the schema version and update this "
           "checker together.", file=sys.stderr)
@@ -168,7 +172,7 @@ def check_record(stream, rec, lineno):
 
 def main():
     ap = argparse.ArgumentParser(
-        description="Validate a spin-metrics/v1 JSONL stream.")
+        description="Validate a spin-metrics/v2 JSONL stream.")
     ap.add_argument("path", help="metrics JSONL file (--metrics output)")
     ap.add_argument("--min-windows", type=int, default=0,
                     help="require at least N windows across all "
@@ -194,8 +198,12 @@ def main():
             fail(f"line {lineno}: record is a JSON "
                  f"{type(rec).__name__}, want an object")
         if rec.get("schema") != SCHEMA:
+            hint = ""
+            if rec.get("schema") == "spin-metrics/v1":
+                hint = (" (a v1 stream from an older build: regenerate "
+                        "the capture with the current binaries)")
             fail(f"line {lineno}: schema is {rec.get('schema')!r}, "
-                 f"want {SCHEMA!r}")
+                 f"want {SCHEMA!r}{hint}")
         label = rec.get("cell")
         if label is not None and not isinstance(label, str):
             fail(f"line {lineno}: 'cell' must be a string when present")

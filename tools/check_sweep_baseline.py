@@ -12,6 +12,12 @@ The record has two parts with different contracts:
   is reported but never gated by default; ``--min-cells-per-sec`` adds a
   floor for environments with known hardware.
 
+Cells produced by the reliability sweep dimension carry ``__rel`` ids
+(docs/SWEEP.md); a spec that never swept reliability has no such cells,
+so existing baselines stay valid. Adding the dimension to a gated spec
+surfaces here as "cell not in baseline" -- regenerate the baseline
+deliberately when that is intended.
+
 Exit codes: 0 match, 1 mismatch, 2 usage/IO error.
 
 Usage:

@@ -55,7 +55,7 @@ const char *kUsage =
     "                    VCs, so vnet 0 decides)\n"
     "  --max-states N    reachability budget (default 2^24)\n"
     "  --faults PATH     verify the topology degraded by a\n"
-    "                    spin-faults/v1 spec (single config only)\n"
+    "                    spin-faults/v2 spec (single config only)\n"
     "  --json PATH       write the report (or sweep table) as JSON\n"
     "  --dot PATH        write the CDG as Graphviz DOT (single config)\n"
     "  --dot-dir DIR     sweep: write DOT per cyclic/violating row\n"

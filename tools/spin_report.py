@@ -3,7 +3,7 @@
 
 Inputs (all optional, at least one required):
 
-* ``--metrics m.jsonl``  -- a spin-metrics/v1 stream (bench --metrics or
+* ``--metrics m.jsonl``  -- a spin-metrics/v2 stream (bench --metrics or
   spin_sweep --metrics): windowed time series per cell.
 * ``--sweep results.json`` -- a spin-sweep/v1 (or spin-sweep-multi/v1)
   aggregate: campaign heatmaps over the preset x pattern x rate grid.
@@ -27,7 +27,7 @@ import json
 import math
 import sys
 
-SCHEMA_METRICS = "spin-metrics/v1"
+SCHEMA_METRICS = "spin-metrics/v2"
 SCHEMA_SWEEP = ("spin-sweep/v1", "spin-sweep-multi/v1")
 
 # Categorical slots (validated order; light / dark steps per mode).
@@ -52,6 +52,13 @@ ORANGE_INK_FLIP = 5
 FAULT_COUNTERS = ("faults.linksFailed", "faults.routersFailed",
                   "faults.transientFaults", "faults.packetsLostToFaults",
                   "faults.packetsCorrupted")
+# End-to-end reliability protocol activity (docs/FAULTS.md): summed into
+# its own KPI tile so a chaos run shows recovery work at a glance.
+RELIABILITY_COUNTERS = ("reliability.crcFails", "reliability.linkRetries",
+                        "reliability.retransmits", "reliability.dupDrops",
+                        "reliability.recoveredPackets",
+                        "reliability.packetsAbandoned",
+                        "reliability.watchdogAlarms")
 
 
 def esc(s):
@@ -97,7 +104,7 @@ def nice_ticks(lo, hi, target=5):
 
 
 def load_metrics(path):
-    """Parse a spin-metrics/v1 JSONL into {label: stream dict}."""
+    """Parse a spin-metrics/v2 JSONL into {label: stream dict}."""
     streams = {}
     try:
         f = open(path)
@@ -498,9 +505,12 @@ def stat_tiles(streams, deadlocks, faults):
                 for s in streams.values() for w in s["windows"])
     fevents = sum(w["counters"].get(k, 0) for s in streams.values()
                   for w in s["windows"] for k in FAULT_COUNTERS)
+    relevents = sum(w["counters"].get(k, 0) for s in streams.values()
+                    for w in s["windows"] for k in RELIABILITY_COUNTERS)
     tiles = [("Cells", len(streams)), ("Windows", windows),
              ("Spins", spins),
              ("Fault events", fevents + len(faults)),
+             ("Reliability events", relevents),
              ("Deadlock loops", len(deadlocks))]
     return ('<div class="kpis">' + "".join(
         f'<div class="tile"><div class="label">{esc(n)}</div>'
@@ -734,7 +744,7 @@ def main():
     ap = argparse.ArgumentParser(
         description="Render SPIN metrics/sweep/forensics data as a "
                     "self-contained HTML report.")
-    ap.add_argument("--metrics", help="spin-metrics/v1 JSONL")
+    ap.add_argument("--metrics", help="spin-metrics/v2 JSONL")
     ap.add_argument("--sweep", help="spin-sweep/v1 (or -multi/v1) "
                                     "results JSON")
     ap.add_argument("--stats", help="bench/telemetry JSON scanned for "

@@ -55,9 +55,9 @@ usage()
            "  --warmup N         override the spec's warmup window\n"
            "  --measure N        override the spec's measure window\n"
            "  --fast             quarter-scale warmup/measure\n"
-           "  --faults PATH      inject a spin-faults/v1 schedule into\n"
+           "  --faults PATH      inject a spin-faults/v2 schedule into\n"
            "                     every cell (docs/FAULTS.md)\n"
-           "  --metrics PATH     combined spin-metrics/v1 JSONL of every\n"
+           "  --metrics PATH     combined spin-metrics/v2 JSONL of every\n"
            "                     simulated cell (docs/OBSERVABILITY.md)\n"
            "  --metrics-interval N  metrics window in cycles (default\n"
            "                     256)\n"
@@ -65,6 +65,11 @@ usage()
            "                     cycles in every cell; fail fast with a\n"
            "                     spin-audit/v1 report on violation\n"
            "  --profile          per-phase wall-clock attribution\n"
+           "  --reliability      run every cell with end-to-end\n"
+           "                     reliable delivery on (docs/FAULTS.md)\n"
+           "  --wall-limit N     per-cell wall-clock budget in seconds;\n"
+           "                     overruns dump telemetry and fail fast\n"
+           "                     (0 = off)\n"
            "  --live             single-line progress meter on stderr\n"
            "                     (auto when stderr is a TTY)\n"
            "  --progress         per-cell progress on stderr\n"
@@ -140,6 +145,8 @@ main(int argc, char **argv)
     bool fast = false, resume = false, progress = false, live = false;
     bool profile = false;
     bool noCells = false, printCells = false, list = false, help = false;
+    bool reliability = false;
+    std::uint64_t wallLimit = 0;
 
     const std::vector<ArgSpec> specs = {
         argStr("--spec", &specArg),
@@ -160,6 +167,8 @@ main(int argc, char **argv)
         argU64("--metrics-interval", &metricsInterval),
         argU64("--audit", &auditInterval),
         argFlag("--profile", &profile),
+        argFlag("--reliability", &reliability),
+        argU64("--wall-limit", &wallLimit),
         argFlag("--live", &live),
         argFlag("--progress", &progress),
         argFlag("--cells", &printCells),
@@ -200,6 +209,8 @@ main(int argc, char **argv)
         spec.warmup /= 4;
         spec.measure = std::max<Cycle>(spec.measure / 4, 1);
     }
+    if (reliability)
+        spec.reliability = {true};
 
     const std::vector<Cell> cells = spec.expand();
     if (printCells) {
@@ -219,6 +230,7 @@ main(int argc, char **argv)
     copt.metricsPath = metricsPath;
     copt.metricsInterval = metricsInterval;
     copt.auditInterval = auditInterval;
+    copt.wallLimitSeconds = wallLimit;
     copt.profile = profile;
     // The meter is for humans: auto-enable on a TTY unless per-cell
     // logging was requested, which it would overwrite.
